@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Each module regenerates one table/figure of the paper at a bench-friendly
+scale (see DESIGN.md §2: pure Python is 100-1000x slower than the authors'
+C++, so sizes are scaled down; run the CLI with ``--scale`` / ``--updates``
+for bigger runs).  ``benchmark.extra_info`` carries the headline numbers so
+``pytest benchmarks/ --benchmark-only`` output doubles as the results log.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Dataset scale for benches (intentionally small; override via env).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Update-stream length per dataset.
+BENCH_UPDATES = int(os.environ.get("REPRO_BENCH_UPDATES", "250"))
+
+#: Datasets exercised by the heavier per-dataset benches.  A light subset
+#: keeps the suite fast; the CLI runs all 11.
+BENCH_DATASETS = ("facebook", "gowalla", "ca", "patents")
+
+#: Seed shared by every bench.
+BENCH_SEED = 42
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock.
+
+    The experiments are end-to-end workload replays (minutes at paper
+    scale); statistical rounds would multiply runtime without adding
+    information, so every bench uses a single measured round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

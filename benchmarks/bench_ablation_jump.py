@@ -1,0 +1,38 @@
+"""Ablation: the jump heap B vs a sequential O_K scan.
+
+DESIGN.md calls out the jump mechanism (Algorithm 2 line 15 + the B heap)
+as the design choice that decouples insertion cost from |O_K|.  This bench
+runs the production OrderInsert and a semantics-identical sequential-scan
+variant on the same stream and reports how many Case-2a steps the jumps
+eliminated.
+"""
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments
+
+
+@pytest.mark.parametrize("dataset", ["patents", "livejournal"])
+def bench_ablation_jump(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.ablation_jump,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # The scan must do at least as much stepping as the jump version's
+    # visits; on blocky graphs it does far more.
+    assert result.scanned >= result.visited
+    benchmark.extra_info["visited"] = result.visited
+    benchmark.extra_info["scanned"] = result.scanned
+    benchmark.extra_info["steps_saved"] = result.steps_saved
+    benchmark.extra_info["jump_s"] = round(result.jump_seconds, 3)
+    benchmark.extra_info["scan_s"] = round(result.scan_seconds, 3)
+    print(
+        f"\n{dataset}: |V+|={result.visited}, scan steps={result.scanned} "
+        f"(saved {result.steps_saved}); jump {result.jump_seconds:.3f}s "
+        f"vs scan {result.scan_seconds:.3f}s"
+    )

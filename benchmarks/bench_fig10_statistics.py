@@ -1,0 +1,40 @@
+"""Fig. 10: core-number CDF (a) and update-edge K CDF (b) per dataset."""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_fig10a_core_cdf(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig10a,
+        dataset,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    assert result.fractions[-1] == pytest.approx(1.0)
+    assert result.fractions == sorted(result.fractions)
+    benchmark.extra_info["max_core"] = max(result.xs)
+    print()
+    print(reporting.render_fig10([result], "core CDF"))
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_fig10b_update_k_cdf(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig10b,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # Sampled edges must cover a non-trivial range of K levels (the paper
+    # argues the samples are representative because of this).
+    assert len(result.xs) >= 1
+    benchmark.extra_info["k_levels_covered"] = len(result.xs)
+    print()
+    print(reporting.render_fig10([result], "K CDF"))

@@ -1,0 +1,39 @@
+"""Fig. 11: OrderInsert scalability across subgraph sample fractions.
+
+Paper shape: insertion time grows smoothly while |E| (resp. |V|) grows
+rapidly — no superlinear blow-up on the three largest datasets.
+"""
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+FRACTIONS = (0.2, 0.6, 1.0)
+
+
+@pytest.mark.parametrize("dataset", ["patents", "livejournal"])
+def bench_fig11(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig11,
+        dataset,
+        fractions=FRACTIONS,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    assert len(result.vary_vertices) == len(FRACTIONS)
+    assert len(result.vary_edges) == len(FRACTIONS)
+    # Sampled sizes must actually grow along the axis.
+    edge_ratios = [p.edge_ratio for p in result.vary_vertices]
+    assert edge_ratios == sorted(edge_ratios)
+    # Smooth growth: full-size time within a generous constant of the
+    # smallest sample's time (the paper's "grows smoothly" claim).
+    t_small = max(result.vary_edges[0].seconds, 1e-6)
+    t_full = result.vary_edges[-1].seconds
+    assert t_full / t_small < 60
+    benchmark.extra_info["time_20pct_s"] = round(result.vary_edges[0].seconds, 3)
+    benchmark.extra_info["time_100pct_s"] = round(t_full, 3)
+    print()
+    print(reporting.render_fig11([result]))

@@ -1,0 +1,42 @@
+"""Fig. 12: stability of OrderInsert over many insertion groups.
+
+Paper shape: per-group accumulated time stays bounded across 100 groups
+(no degradation as the maintained order ages), with p = 0 / 0.1 / 0.2
+removal mixes behaving alike.
+"""
+
+import statistics
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, once
+
+from repro.bench import experiments, reporting
+
+GROUPS = 10
+GROUP_SIZE = 60
+
+
+@pytest.mark.parametrize("p", [0.0, 0.1, 0.2])
+def bench_fig12(benchmark, p):
+    result = once(
+        benchmark,
+        experiments.fig12,
+        "patents",
+        n_groups=GROUPS,
+        group_size=GROUP_SIZE,
+        p=p,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    assert len(result.group_seconds) == GROUPS
+    # No degradation drift: the last groups must not be systematically
+    # slower than the first ones beyond noise.
+    first_half = statistics.mean(result.group_seconds[: GROUPS // 2])
+    second_half = statistics.mean(result.group_seconds[GROUPS // 2 :])
+    assert second_half < max(first_half, 1e-6) * 5
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["mean_group_s"] = round(
+        statistics.mean(result.group_seconds), 4
+    )
+    print()
+    print(reporting.render_fig12([result]))

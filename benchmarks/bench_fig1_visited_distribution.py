@@ -1,0 +1,35 @@
+"""Fig. 1: distribution of the number of vertices visited per insertion.
+
+Paper shape: the traversal algorithm has a heavy tail (>1000 visited for a
+non-small share of insertions on citation/social graphs) while the
+order-based algorithm stays under ~100 everywhere.
+"""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_fig1(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig1,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # Order-based insertions never exceed the last bucket on any dataset
+    # the paper tests; assert the reproduced shape.
+    assert result.order_proportions[-1] == 0.0, "order engine visited >1000"
+    assert (
+        result.order_proportions[0] >= result.traversal_proportions[0]
+    ), "order engine should keep more insertions in the <=3 bucket"
+    benchmark.extra_info["order_le3"] = round(result.order_proportions[0], 3)
+    benchmark.extra_info["trav_gt1000"] = round(
+        result.traversal_proportions[-1], 3
+    )
+    print()
+    print(reporting.render_fig1([result]))

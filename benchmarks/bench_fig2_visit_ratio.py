@@ -1,0 +1,27 @@
+"""Fig. 2: ratio of vertices visited to vertices updated.
+
+Paper shape: traversal ratio >= 7 (up to ~10,000 on Patents/Pokec); the
+order-based ratio stays below ~4 and can approach 1.
+"""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_fig2(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig2,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    assert result.order_ratio <= result.traversal_ratio
+    benchmark.extra_info["traversal_ratio"] = round(result.traversal_ratio, 1)
+    benchmark.extra_info["order_ratio"] = round(result.order_ratio, 2)
+    print()
+    print(reporting.render_fig2([result]))

@@ -1,0 +1,28 @@
+"""Fig. 9: |V+|/|V*| for the three k-order generation heuristics.
+
+Paper shape: "small deg+ first" consistently beats "large deg+ first";
+"random" sits between (occasionally close to small).
+"""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_fig9(benchmark, dataset):
+    result = once(
+        benchmark,
+        experiments.fig9,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # The paper's recommendation must never lose to "large deg+ first".
+    assert result.ratios["small"] <= result.ratios["large"] * 1.05
+    for policy, ratio in result.ratios.items():
+        benchmark.extra_info[policy] = round(ratio, 2)
+    print()
+    print(reporting.render_fig9([result]))

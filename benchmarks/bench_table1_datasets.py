@@ -1,0 +1,20 @@
+"""Table I: dataset statistics (generation + static decomposition cost)."""
+
+from _bench_common import BENCH_SCALE, BENCH_SEED, once
+
+from repro.bench import experiments, reporting
+
+
+def bench_table1(benchmark):
+    rows = once(
+        benchmark, experiments.table1, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    assert len(rows) == 11
+    for row in rows:
+        # Stand-ins must stay in the structural ballpark of the originals.
+        assert row.avg_deg > row.paper_avg_deg / 4
+        assert row.avg_deg < row.paper_avg_deg * 4
+    benchmark.extra_info["datasets"] = len(rows)
+    benchmark.extra_info["total_edges"] = sum(r.m for r in rows)
+    print()
+    print(reporting.render_table1(rows))

@@ -1,0 +1,38 @@
+"""Table II (left half): accumulated insertion time, Order vs Trav-h.
+
+Paper shape: OrderInsert wins on every dataset — modestly on small/sparse
+graphs, by orders of magnitude on the citation/social graphs whose
+purecores explode (Patents: 2944s vs 0.88s).
+"""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments, reporting
+
+HOPS = (2, 3)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_table2_insert(benchmark, dataset):
+    row = once(
+        benchmark,
+        experiments.table2,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        hops=HOPS,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # OrderInsert beats Trav-2 on every dataset in the paper; at bench
+    # scale the sparse road network finishes in milliseconds, so allow a
+    # timer-noise margin there rather than asserting a strict win.
+    margin = 1.5 if dataset == "ca" else 1.0
+    assert row.insert_seconds["order"] < row.insert_seconds["trav-2"] * margin, (
+        "OrderInsert must beat Trav-2 (Table II)"
+    )
+    benchmark.extra_info["order_s"] = round(row.insert_seconds["order"], 3)
+    benchmark.extra_info["trav2_s"] = round(row.insert_seconds["trav-2"], 3)
+    benchmark.extra_info["speedup_vs_trav2"] = round(row.insert_speedup(), 1)
+    print()
+    print(reporting.render_table2([row]))

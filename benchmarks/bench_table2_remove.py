@@ -1,0 +1,52 @@
+"""Table II (right half): accumulated removal time, Order vs Trav-h.
+
+Paper shape: OrderRemoval wins everywhere except the road network (CA),
+whose tiny average degree makes pcd maintenance cheap; Trav-h removal
+degrades steeply as h grows (deeper hierarchy to repair, no search gain).
+"""
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench import experiments
+
+HOPS = (2, 3)
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "gowalla", "patents"])
+def bench_table2_remove(benchmark, dataset):
+    row = once(
+        benchmark,
+        experiments.table2,
+        dataset,
+        n_updates=BENCH_UPDATES,
+        hops=HOPS,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    assert row.remove_seconds["order"] < row.remove_seconds["trav-2"], (
+        "OrderRemoval must beat Trav-2 off the road network (Table II)"
+    )
+    # Deeper hierarchies pay more maintenance on removals.
+    assert row.remove_seconds["trav-3"] > row.remove_seconds["trav-2"]
+    benchmark.extra_info["order_s"] = round(row.remove_seconds["order"], 3)
+    benchmark.extra_info["trav2_s"] = round(row.remove_seconds["trav-2"], 3)
+    benchmark.extra_info["trav3_s"] = round(row.remove_seconds["trav-3"], 3)
+
+
+def bench_table2_remove_ca_exception(benchmark):
+    """CA is the paper's one dataset where Trav-2 removal can win."""
+    row = once(
+        benchmark,
+        experiments.table2,
+        "ca",
+        n_updates=BENCH_UPDATES,
+        hops=(2,),
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # No winner asserted — the paper itself reports Trav-2 ahead here; we
+    # only require the same order of magnitude.
+    ratio = row.remove_seconds["order"] / max(row.remove_seconds["trav-2"], 1e-9)
+    assert ratio < 20
+    benchmark.extra_info["order_over_trav2"] = round(ratio, 2)

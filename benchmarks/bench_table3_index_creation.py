@@ -1,0 +1,33 @@
+"""Table III: index creation time (one-time cost).
+
+Paper shape: the order-based index costs about the same as Trav-2 to a
+small factor (the paper reports ~2x including core decomposition), and
+traversal creation time grows with the hop count h.
+"""
+
+import pytest
+from _bench_common import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, once
+
+from repro.bench import experiments, reporting
+
+HOPS = (2, 3, 4)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def bench_table3(benchmark, dataset):
+    row = once(
+        benchmark,
+        experiments.table3,
+        dataset,
+        hops=HOPS,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    # Hierarchy depth makes traversal index creation slower.
+    assert row.build_seconds["trav-4"] > row.build_seconds["trav-2"] * 0.8
+    # The order index stays within a small factor of Trav-2.
+    assert row.build_seconds["order"] < row.build_seconds["trav-2"] * 8
+    for engine, seconds in row.build_seconds.items():
+        benchmark.extra_info[engine] = round(seconds, 3)
+    print()
+    print(reporting.render_table3([row]))

@@ -1,0 +1,50 @@
+"""Head-to-head: order-based vs traversal vs naive on one stream.
+
+A miniature of the paper's Table II and Fig. 2 on a single dataset:
+inserts then removes the same edge stream with all three engines, printing
+accumulated time and search-space statistics.
+
+Run:  python examples/algorithm_comparison.py [dataset]
+"""
+
+import sys
+
+from repro import load_dataset
+from repro.bench.runner import build_engine, run_updates
+from repro.bench.workloads import make_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gowalla"
+    dataset = load_dataset(name, seed=5)
+    workload = make_workload(dataset, n_updates=300, seed=5)
+    print(
+        f"dataset {name}: base graph m={len(workload.base_edges)}, "
+        f"{len(workload.update_edges)} updates"
+    )
+    header = (
+        f"{'engine':<10} {'ins time':>9} {'rem time':>9} "
+        f"{'visited/changed':>16} {'max visited':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for engine_name in ("order", "trav-2", "trav-4", "naive"):
+        engine = build_engine(engine_name, workload.base_graph(), seed=5)
+        ins = run_updates(engine, workload.update_edges, "insert")
+        rem = run_updates(
+            engine, list(reversed(workload.update_edges)), "remove"
+        )
+        ratio = ins.visited_to_changed_ratio()
+        print(
+            f"{engine_name:<10} {ins.total_seconds:>8.3f}s "
+            f"{rem.total_seconds:>8.3f}s {ratio:>16.1f} "
+            f"{max(ins.visited):>12}"
+        )
+    print(
+        "\nThe order-based engine visits within a small factor of |V*| "
+        "while the traversal engine's search space explodes on some edges."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: maintain k-cores of a small evolving graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DynamicGraph, OrderedCoreMaintainer
+
+
+def main() -> None:
+    # A triangle with a pendant vertex.
+    graph = DynamicGraph([(0, 1), (1, 2), (2, 0), (2, 3)])
+    maintainer = OrderedCoreMaintainer(graph)
+
+    print("initial core numbers:", maintainer.core_numbers())
+    # {0: 2, 1: 2, 2: 2, 3: 1} — the triangle is a 2-core, vertex 3 hangs off.
+
+    # Close the square 0-3: vertex 3 now has two neighbors in the 2-core.
+    result = maintainer.insert_edge(3, 0)
+    print(f"insert (3, 0): V* = {result.changed}, visited {result.visited}")
+    print("core numbers:", maintainer.core_numbers())
+
+    # Densify: every insertion repairs cores in time ~|V*|, not |V|.
+    for edge in [(1, 3), (0, 4), (1, 4), (3, 4)]:
+        result = maintainer.insert_edge(*edge)
+        print(f"insert {edge}: V* = {result.changed}")
+    print("degeneracy:", maintainer.degeneracy())
+    print("3-core:", sorted(maintainer.k_core(3)))
+
+    # Edges can leave too; vertex 4 falls back out of the 3-core.
+    result = maintainer.remove_edge(3, 4)
+    print(f"remove (3, 4): V* = {result.changed}")
+    print("final core numbers:", maintainer.core_numbers())
+
+    # The maintained k-order is always a valid CoreDecomp removal order.
+    print("maintained k-order:", maintainer.order())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Community tracking over a social-network edge stream.
+
+The paper's introduction motivates core maintenance with community search
+on evolving social networks.  This example replays the facebook stand-in
+as a live stream: friendships arrive one at a time and we keep asking for
+the k-core community of one user — without ever recomputing cores from
+scratch.
+
+Run:  python examples/social_stream_communities.py
+"""
+
+from repro import OrderedCoreMaintainer, load_dataset
+from repro.applications.community import best_community, kcore_community
+from repro.bench.workloads import make_workload
+
+
+def main() -> None:
+    dataset = load_dataset("facebook", scale=0.5, seed=7)
+    workload = make_workload(dataset, n_updates=1500, seed=7)
+    maintainer = OrderedCoreMaintainer(workload.base_graph())
+
+    # Track the most active user (highest initial coreness).
+    user = max(maintainer.core_numbers(), key=lambda v: maintainer.core_of(v))
+    k = max(2, maintainer.core_of(user) // 2)
+    print(f"tracking user {user} at cohesion level k={k}")
+
+    checkpoints = max(1, len(workload.update_edges) // 5)
+    for i, (u, v) in enumerate(workload.update_edges, 1):
+        maintainer.insert_edge(u, v)
+        if i % checkpoints == 0:
+            community = kcore_community(maintainer, user, k)
+            print(
+                f"after {i:5d} new friendships: "
+                f"community size {len(community):4d}, "
+                f"user coreness {maintainer.core_of(user)}"
+            )
+
+    level, community = best_community(maintainer, user, min_size=5)
+    print(
+        f"final: tightest community of user {user} has "
+        f"{len(community)} members at k={level}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy-install shim.
+
+This environment is offline (no ``wheel`` available), so ``pip install -e .``
+must take the legacy ``setup.py develop`` path; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

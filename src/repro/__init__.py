@@ -1,0 +1,56 @@
+"""repro — order-based k-core maintenance for dynamic graphs.
+
+A from-scratch Python reproduction of
+
+    Yikai Zhang, Jeffrey Xu Yu, Ying Zhang, Lu Qin.
+    "A Fast Order-Based Approach for Core Maintenance." ICDE 2017.
+
+The library maintains the core number of every vertex of an undirected
+graph under edge (and vertex) insertions and removals.  Three engines share
+one interface:
+
+* :class:`~repro.core.maintainer.OrderedCoreMaintainer` — the paper's
+  order-based algorithm (``OrderInsert`` / ``OrderRemoval``);
+* :class:`~repro.traversal.maintainer.TraversalCoreMaintainer` — the
+  traversal baseline (Sariyüce et al.), with the multi-hop ``Trav-h``
+  enhancement;
+* :class:`~repro.naive.maintainer.NaiveCoreMaintainer` — full
+  recomputation (oracle).
+
+Quickstart
+----------
+>>> from repro import DynamicGraph, OrderedCoreMaintainer
+>>> g = DynamicGraph([(0, 1), (1, 2), (2, 0), (2, 3)])
+>>> m = OrderedCoreMaintainer(g)
+>>> m.core_of(0), m.core_of(3)
+(2, 1)
+>>> m.insert_edge(3, 0).changed  # 3 joins the triangle's 2-core
+(3,)
+"""
+
+from repro._version import __version__
+from repro.core.base import CoreMaintainer, UpdateResult
+from repro.core.decomposition import core_numbers, korder_decomposition
+from repro.core.maintainer import OrderedCoreMaintainer
+from repro.graphs.datasets import dataset_names, load_dataset
+from repro.graphs.temporal import TemporalEdgeStream
+from repro.graphs.undirected import DynamicGraph
+from repro.naive.maintainer import NaiveCoreMaintainer
+from repro.streaming import SlidingWindowCoreMonitor
+from repro.traversal.maintainer import TraversalCoreMaintainer
+
+__all__ = [
+    "CoreMaintainer",
+    "DynamicGraph",
+    "NaiveCoreMaintainer",
+    "OrderedCoreMaintainer",
+    "SlidingWindowCoreMonitor",
+    "TemporalEdgeStream",
+    "TraversalCoreMaintainer",
+    "UpdateResult",
+    "__version__",
+    "core_numbers",
+    "dataset_names",
+    "korder_decomposition",
+    "load_dataset",
+]

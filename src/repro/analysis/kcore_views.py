@@ -1,0 +1,94 @@
+"""Views over a core decomposition: k-cores, shells, onion layers.
+
+These are the read-side products that make core maintenance useful —
+the paper's motivating applications (community search, visualization,
+topology analysis) all consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+
+
+def k_core_vertices(core: Mapping[Vertex, int], k: int) -> set[Vertex]:
+    """Vertices of the ``k``-core (``core(v) >= k``)."""
+    return {v for v, c in core.items() if c >= k}
+
+
+def k_core_subgraph(
+    graph: DynamicGraph, core: Mapping[Vertex, int], k: int
+) -> DynamicGraph:
+    """The ``k``-core as an induced subgraph."""
+    return graph.subgraph(k_core_vertices(core, k))
+
+
+def k_shell_vertices(core: Mapping[Vertex, int], k: int) -> set[Vertex]:
+    """Vertices with core number exactly ``k`` (the ``k``-shell)."""
+    return {v for v, c in core.items() if c == k}
+
+
+def degeneracy(core: Mapping[Vertex, int]) -> int:
+    """Maximum core number (0 for an empty graph)."""
+    return max(core.values(), default=0)
+
+
+def core_spectrum(core: Mapping[Vertex, int]) -> dict[int, int]:
+    """Map ``k -> |k-shell|`` for every non-empty shell."""
+    spectrum: dict[int, int] = {}
+    for c in core.values():
+        spectrum[c] = spectrum.get(c, 0) + 1
+    return spectrum
+
+
+def onion_layers(graph: DynamicGraph) -> dict[Vertex, int]:
+    """Onion decomposition: the peeling round in which each vertex leaves.
+
+    Refines the k-shell view used by the paper's visualization citations:
+    within a shell, layers order vertices from the periphery inward.
+    Round ``r`` removes every vertex whose remaining degree is below the
+    current core level ``k`` simultaneously.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    remaining = set(degrees)
+    layer: dict[Vertex, int] = {}
+    round_no = 0
+    k = 1
+    while remaining:
+        peel = [v for v in remaining if degrees[v] < k]
+        if not peel:
+            k += 1
+            continue
+        round_no += 1
+        for v in peel:
+            layer[v] = round_no
+            remaining.discard(v)
+        for v in peel:
+            for w in graph.adj[v]:
+                if w in remaining:
+                    degrees[w] -= 1
+    return layer
+
+
+def densest_core(
+    graph: DynamicGraph, core: Mapping[Vertex, int]
+) -> tuple[set[Vertex], float]:
+    """The max-core vertex set and its edge density (``m' / n'``).
+
+    The max-core is a classical 2-approximation seed for the densest
+    subgraph; :mod:`repro.applications.densest` refines it.
+    """
+    top = degeneracy(core)
+    vertices = k_core_vertices(core, top)
+    if not vertices:
+        return set(), 0.0
+    inner_edges = 0
+    for v in vertices:
+        for w in graph.adj[v]:
+            if w in vertices:
+                inner_edges += 1
+    inner_edges //= 2
+    return vertices, inner_edges / len(vertices)

@@ -1,0 +1,37 @@
+"""Application layer: the use cases the paper's introduction motivates.
+
+Each module consumes a maintained core decomposition, demonstrating why
+fast core *maintenance* matters: these queries are answered continuously
+over evolving graphs.
+
+* :mod:`repro.applications.community` — k-core community search;
+* :mod:`repro.applications.densest` — densest-subgraph approximation;
+* :mod:`repro.applications.engagement` — engagement cascades / unraveling;
+* :mod:`repro.applications.resilience` — core resilience under failures.
+"""
+
+from repro.applications.coloring import greedy_coloring, verify_coloring
+from repro.applications.community import best_community, kcore_community
+from repro.applications.densest import densest_subgraph_peel, dynamic_densest
+from repro.applications.engagement import departure_cascade, engagement_core
+from repro.applications.resilience import core_resilience_profile
+from repro.applications.visualization import (
+    render_fingerprint,
+    render_shell_histogram,
+    shell_layout,
+)
+
+__all__ = [
+    "best_community",
+    "core_resilience_profile",
+    "greedy_coloring",
+    "verify_coloring",
+    "densest_subgraph_peel",
+    "departure_cascade",
+    "dynamic_densest",
+    "engagement_core",
+    "kcore_community",
+    "render_fingerprint",
+    "render_shell_histogram",
+    "shell_layout",
+]

@@ -1,0 +1,78 @@
+"""Engagement analysis: the k-core as an equilibrium of departures.
+
+A classic social-network model: every user stays engaged while at least
+``k`` of their friends are engaged; users below the threshold leave, which
+may push others below it.  The stable set that remains is exactly the
+``k``-core, and the order of departures is a peeling order.  This module
+simulates the cascade explicitly (useful for narratives and tests) and
+reads the survivors from a maintained decomposition (useful at scale).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.base import CoreMaintainer
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+
+
+def departure_cascade(
+    graph: DynamicGraph, k: int
+) -> tuple[list[Vertex], set[Vertex]]:
+    """Simulate the engagement cascade at threshold ``k``.
+
+    Returns ``(departures, survivors)`` where ``departures`` lists leaving
+    users in order (degree below ``k`` at leave time) and ``survivors`` is
+    the stable set — provably the ``k``-core.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    departures: list[Vertex] = []
+    queue = [v for v, d in degrees.items() if d < k]
+    gone: set[Vertex] = set(queue)
+    while queue:
+        v = queue.pop()
+        departures.append(v)
+        for w in graph.adj[v]:
+            if w not in gone:
+                degrees[w] -= 1
+                if degrees[w] < k:
+                    gone.add(w)
+                    queue.append(w)
+    survivors = {v for v in graph.vertices() if v not in gone}
+    return departures, survivors
+
+
+def engagement_core(maintainer: CoreMaintainer, k: int) -> set[Vertex]:
+    """Survivors of the threshold-``k`` cascade, read from maintained cores."""
+    return maintainer.k_core(k)
+
+
+def engagement_strength(
+    graph: DynamicGraph, core: Mapping[Vertex, int], vertex: Vertex
+) -> int:
+    """How many same-or-higher-core neighbors support ``vertex``.
+
+    This is ``mcd`` seen through the engagement lens: the number of
+    neighbors whose own engagement level is at least the vertex's.  A
+    vertex with strength equal to its core number is *fragile*: losing one
+    supporting edge can start a cascade.
+    """
+    k = core[vertex]
+    return sum(1 for w in graph.adj[vertex] if core[w] >= k)
+
+
+def fragile_vertices(
+    graph: DynamicGraph, core: Mapping[Vertex, int]
+) -> set[Vertex]:
+    """Vertices whose engagement strength equals their core number.
+
+    Exactly the vertices with ``mcd(v) == core(v)`` — the ones ``pcd``
+    excludes, and the first to fall when the graph erodes.
+    """
+    return {
+        v
+        for v in graph.vertices()
+        if engagement_strength(graph, core, v) == core[v]
+    }

@@ -1,0 +1,82 @@
+"""Core resilience: how the coreness structure degrades under edge loss.
+
+Built directly on ``OrderRemoval``: edges fail one by one (randomly or
+adversarially targeting the densest region) and the maintainer repairs
+core numbers incrementally — the removal-heavy workload where the paper's
+algorithm shines (Table II, right half).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.core.base import CoreMaintainer
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+@dataclass
+class ResilienceProfile:
+    """Trajectory of the core structure as edges fail."""
+
+    removed_edges: list[Edge] = field(default_factory=list)
+    degeneracy: list[int] = field(default_factory=list)
+    max_core_size: list[int] = field(default_factory=list)
+    total_demotions: int = 0
+
+    def steps(self) -> int:
+        return len(self.removed_edges)
+
+
+def _targeted_order(maintainer: CoreMaintainer, edges: list[Edge]) -> list[Edge]:
+    """Edges sorted to hit the densest structure first: descending by the
+    smaller endpoint coreness (ties broken deterministically)."""
+    core = maintainer.core
+    return sorted(
+        edges,
+        key=lambda e: (-min(core[e[0]], core[e[1]]), repr(e)),
+    )
+
+
+def core_resilience_profile(
+    maintainer: CoreMaintainer,
+    failures: int,
+    mode: str = "random",
+    seed: Optional[int] = 0,
+) -> ResilienceProfile:
+    """Remove ``failures`` edges and record the structural decay.
+
+    Parameters
+    ----------
+    maintainer:
+        Any engine; its graph is modified in place.
+    failures:
+        Number of edge removals (capped at the number of edges).
+    mode:
+        ``"random"`` (uniform failures) or ``"targeted"`` (densest-first
+        attack, re-sorted once up front).
+    seed:
+        RNG seed for random mode.
+    """
+    if mode not in ("random", "targeted"):
+        raise ValueError(f"unknown failure mode {mode!r}")
+    edges = list(maintainer.graph.edges())
+    failures = min(failures, len(edges))
+    if mode == "targeted":
+        plan = _targeted_order(maintainer, edges)[:failures]
+    else:
+        rng = random.Random(seed)
+        rng.shuffle(edges)
+        plan = edges[:failures]
+    profile = ResilienceProfile()
+    for u, v in plan:
+        result = maintainer.remove_edge(u, v)
+        profile.removed_edges.append((u, v))
+        profile.total_demotions += len(result.changed)
+        top = maintainer.degeneracy()
+        profile.degeneracy.append(top)
+        profile.max_core_size.append(len(maintainer.k_core(top)) if top else 0)
+    return profile

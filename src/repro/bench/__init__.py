@@ -1,0 +1,26 @@
+"""Benchmark harness: workloads, runners and the paper's experiments.
+
+Every table and figure of the paper's evaluation section has a
+corresponding function in :mod:`repro.bench.experiments`; the modules in
+``benchmarks/`` (pytest-benchmark) and the CLI both drive those functions.
+"""
+
+from repro.bench.workloads import (
+    UpdateWorkload,
+    grouped_stream,
+    make_workload,
+    sample_edge_fraction,
+    sample_vertex_fraction,
+)
+from repro.bench.runner import build_engine, run_updates, time_index_build
+
+__all__ = [
+    "UpdateWorkload",
+    "build_engine",
+    "grouped_stream",
+    "make_workload",
+    "run_updates",
+    "sample_edge_fraction",
+    "sample_vertex_fraction",
+    "time_index_build",
+]

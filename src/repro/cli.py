@@ -1,0 +1,229 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Examples
+--------
+List the datasets and their stand-in statistics::
+
+    repro table1
+
+Reproduce the Fig. 2 search-space ratios on three datasets with a larger
+update stream::
+
+    repro fig2 --datasets patents,pokec,ca --updates 2000
+
+Run the whole evaluation at double scale::
+
+    repro all --scale 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import experiments, reporting
+from repro.graphs.datasets import dataset_names
+
+
+def _dataset_list(value: str) -> list[str]:
+    names = [n.strip() for n in value.split(",") if n.strip()]
+    known = set(dataset_names())
+    for name in names:
+        if name not in known:
+            raise argparse.ArgumentTypeError(
+                f"unknown dataset {name!r}; known: {', '.join(sorted(known))}"
+            )
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'A Fast Order-Based "
+        "Approach for Core Maintenance' (ICDE 2017).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "list", "table1", "table2", "table3",
+            "fig1", "fig2", "fig5", "fig9", "fig10", "fig11", "fig12",
+            "ablation", "validate", "all",
+        ],
+        help="which table/figure (or utility) to run",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=_dataset_list,
+        default=None,
+        help="comma-separated dataset names (default: all 11)",
+    )
+    parser.add_argument(
+        "--updates", type=int, default=experiments.DEFAULT_UPDATES,
+        help="update edges per dataset (paper: 100000)",
+    )
+    parser.add_argument(
+        "--hops", type=lambda s: tuple(int(h) for h in s.split(",")),
+        default=(2, 3), help="traversal hop counts, e.g. 2,3,4,5,6",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset size multiplier (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--groups", type=int, default=10, help="fig12: number of groups"
+    )
+    parser.add_argument(
+        "--group-size", type=int, default=100, help="fig12: edges per group"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.datasets or list(dataset_names())
+    common = dict(scale=args.scale, seed=args.seed)
+
+    if args.experiment == "list":
+        rows = experiments.table1(names, scale=args.scale, seed=args.seed)
+        print(reporting.render_table1(rows))
+        return 0
+    if args.experiment == "table1":
+        print(reporting.render_table1(
+            experiments.table1(names, **common)))
+        return 0
+    if args.experiment in ("fig1", "fig2"):
+        results = [
+            experiments.insertion_visits(n, args.updates, **common)
+            for n in names
+        ]
+        renderer = (
+            reporting.render_fig1
+            if args.experiment == "fig1"
+            else reporting.render_fig2
+        )
+        print(renderer(results))
+        return 0
+    if args.experiment == "fig5":
+        pair = args.datasets or ["patents", "orkut"]
+        print(reporting.render_fig5(
+            [experiments.fig5(n, **common) for n in pair]))
+        return 0
+    if args.experiment == "fig9":
+        print(reporting.render_fig9(
+            [experiments.fig9(n, args.updates, **common) for n in names]))
+        return 0
+    if args.experiment == "fig10":
+        print(reporting.render_fig10(
+            [experiments.fig10a(n, **common) for n in names],
+            "core CDF"))
+        print()
+        print(reporting.render_fig10(
+            [experiments.fig10b(n, args.updates, **common) for n in names],
+            "K CDF"))
+        return 0
+    if args.experiment == "table2":
+        print(reporting.render_table2([
+            experiments.table2(n, args.updates, args.hops, **common)
+            for n in names
+        ]))
+        return 0
+    if args.experiment == "table3":
+        print(reporting.render_table3(
+            [experiments.table3(n, args.hops, **common) for n in names]))
+        return 0
+    if args.experiment == "fig11":
+        trio = args.datasets or ["patents", "orkut", "livejournal"]
+        print(reporting.render_fig11([
+            experiments.fig11(n, n_updates=args.updates, **common)
+            for n in trio
+        ]))
+        return 0
+    if args.experiment == "fig12":
+        target = (args.datasets or ["patents"])[0]
+        print(reporting.render_fig12([
+            experiments.fig12(
+                target, args.groups, args.group_size, p, **common
+            )
+            for p in (0.0, 0.1, 0.2)
+        ]))
+        return 0
+    if args.experiment == "ablation":
+        from repro.bench.reporting import format_table
+
+        rows = []
+        for name in names:
+            result = experiments.ablation_jump(name, args.updates, **common)
+            rows.append(
+                [
+                    name,
+                    result.visited,
+                    result.scanned,
+                    result.steps_saved,
+                    f"{result.jump_seconds:.3f}",
+                    f"{result.scan_seconds:.3f}",
+                ]
+            )
+        print(
+            format_table(
+                ["dataset", "|V+|", "scan steps", "steps saved",
+                 "jump s", "scan s"],
+                rows,
+            )
+        )
+        return 0
+    if args.experiment == "validate":
+        from repro.analysis.validation import validate_maintainer
+        from repro.bench.runner import build_engine, run_updates
+        from repro.bench.workloads import make_workload
+        from repro.graphs.datasets import load_dataset
+
+        failures = 0
+        for name in names:
+            dataset = load_dataset(name, scale=args.scale, seed=args.seed)
+            workload = make_workload(dataset, args.updates, seed=args.seed)
+            engine = build_engine("order", workload.base_graph(), seed=args.seed)
+            run_updates(engine, workload.update_edges, "insert")
+            run_updates(
+                engine, list(reversed(workload.update_edges)), "remove"
+            )
+            report = validate_maintainer(engine)
+            status = "ok" if report.ok else "FAILED"
+            print(f"{name}: {status}")
+            if not report.ok:
+                failures += 1
+        return 1 if failures else 0
+    if args.experiment == "all":
+        results = experiments.run_all(
+            names, args.updates, args.hops, **common
+        )
+        print(reporting.render_table1(results["table1"]))
+        print()
+        print(reporting.render_fig1(results["fig1_fig2"]))
+        print()
+        print(reporting.render_fig2(results["fig1_fig2"]))
+        print()
+        print(reporting.render_fig5(results["fig5"]))
+        print()
+        print(reporting.render_fig9(results["fig9"]))
+        print()
+        print(reporting.render_fig10(results["fig10a"], "core CDF"))
+        print()
+        print(reporting.render_fig10(results["fig10b"], "K CDF"))
+        print()
+        print(reporting.render_table2(results["table2"]))
+        print()
+        print(reporting.render_table3(results["table3"]))
+        print()
+        print(reporting.render_fig11(results["fig11"]))
+        print()
+        print(reporting.render_fig12(results["fig12"]))
+        print()
+        print(f"total: {results['elapsed_seconds']:.1f}s")
+        return 0
+    return 1  # pragma: no cover - argparse guards choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Ablation variant of ``OrderInsert``: sequential scan instead of jumps.
+
+The paper's Case-2a handling ("jump" to the next vertex with
+``deg* > 0`` via the min-heap ``B``, Algorithm 2 line 15) is the part of
+the design that turns a potentially ``O(|O_K|)`` sweep into work
+proportional to ``|V+|``.  To measure exactly how much that buys,
+:func:`order_insert_scan` implements the same algorithm but walks ``O_K``
+one vertex at a time, stepping over Case-2a vertices individually.
+
+Semantics are identical (same ``V*``, same repaired k-order — the shared
+Algorithm 3 implementation is reused verbatim); only the traversal
+strategy differs: the candidate heap is kept as a *live set* for the
+termination test but never used to jump.  The extra return value
+``scanned`` counts sequential steps, so ``scanned - visited`` is exactly
+the work the jump heap eliminates.
+``benchmarks/bench_ablation_jump.py`` reports the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.insertion import _SETTLED, _VC, _remove_candidates
+from repro.core.korder import KOrder
+from repro.graphs.undirected import DynamicGraph
+from repro.structures.heaps import LazyMinHeap
+
+Vertex = Hashable
+
+
+def order_insert_scan(
+    graph: DynamicGraph,
+    korder: KOrder,
+    core: dict[Vertex, int],
+    u: Vertex,
+    v: Vertex,
+) -> tuple[list[Vertex], int, int, int]:
+    """Insert ``(u, v)`` with a sequential ``O_K`` scan (no jumps).
+
+    Returns ``(v_star, K, visited, scanned)`` — ``visited`` matches the
+    jump implementation's ``|V+|``; ``scanned`` additionally counts every
+    Case-2a vertex stepped over one at a time.
+    """
+    graph.add_edge(u, v)
+    if core[u] > core[v] or (core[u] == core[v] and korder.precedes(v, u)):
+        u, v = v, u
+    K = core[u]
+    korder.deg_plus[u] += 1
+    if korder.deg_plus[u] <= K:
+        return [], K, 0, 0
+
+    block = korder.block(K)
+    deg_plus = korder.deg_plus
+    # Same candidate bookkeeping as the jump version — but used only as a
+    # live set for termination, never to find the next vertex.
+    live = LazyMinHeap()
+    deg_star: dict[Vertex, int] = {}
+    status: dict[Vertex, int] = {}
+    orig_rank: dict[Vertex, int] = {}
+    vc_order: list[Vertex] = []
+    visited = 0
+    scanned = 0
+
+    cursor: Optional[Vertex] = u
+    while cursor is not None:
+        vtx = cursor
+        cursor = block.successor(vtx)
+        if status.get(vtx) is not None:
+            # Evicted candidates get re-inserted just behind the walk;
+            # they are settled and must not be re-processed.
+            continue
+        scanned += 1
+        star = deg_star.get(vtx, 0)
+        if star == 0 and not (vtx == u and deg_plus[u] > K):
+            # Case-2a: provably not in V*; stays in place unchanged.  The
+            # jump version skips this vertex without touching it at all.
+            status[vtx] = _SETTLED
+            if not live:
+                break
+            continue
+        visited += 1
+        live.discard(vtx)
+        rank_v = block.rank(vtx)
+        if star + deg_plus[vtx] > K:
+            status[vtx] = _VC
+            orig_rank[vtx] = rank_v
+            vc_order.append(vtx)
+            for w in graph.adj[vtx]:
+                if w in block and w not in status and block.rank(w) > rank_v:
+                    new_star = deg_star.get(w, 0) + 1
+                    deg_star[w] = new_star
+                    if new_star == 1:
+                        live.push(block.rank(w), w)
+        else:
+            deg_plus[vtx] += deg_star.pop(vtx, 0)
+            status[vtx] = _SETTLED
+            _remove_candidates(
+                graph, block, deg_plus, deg_star, status, orig_rank,
+                live, vtx, rank_v, K,
+            )
+        if not live:
+            break
+
+    v_star = [w for w in vc_order if status[w] == _VC]
+    if v_star:
+        for w in v_star:
+            core[w] = K + 1
+            korder.remove(w)
+        korder.prepend_chain(K + 1, v_star)
+    return v_star, K, visited, scanned
+
+
+class ScanningOrderedCoreMaintainer:
+    """A thin engine wrapper around :func:`order_insert_scan` for benches.
+
+    Removals delegate to the production ``OrderRemoval``; only insertions
+    differ.  Exposes ``total_scanned`` so the ablation can report how many
+    sequential steps the jump heap would have skipped.
+    """
+
+    name = "order-scan"
+
+    def __init__(self, graph: DynamicGraph, seed: Optional[int] = 0) -> None:
+        from repro.core.maintainer import OrderedCoreMaintainer
+
+        self._inner = OrderedCoreMaintainer(graph, policy="small", seed=seed)
+        self.total_scanned = 0
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self._inner.graph
+
+    @property
+    def core(self):
+        return self._inner.core
+
+    def core_numbers(self):
+        return self._inner.core_numbers()
+
+    def insert_edge(self, u: Vertex, v: Vertex):
+        from repro.core.base import UpdateResult
+
+        inner = self._inner
+        for endpoint in (u, v):
+            if not inner.graph.has_vertex(endpoint):
+                inner.graph.add_vertex(endpoint)
+                inner._register_vertex(endpoint)
+        v_star, k, visited, scanned = order_insert_scan(
+            inner.graph, inner.korder, inner._core, u, v
+        )
+        self.total_scanned += scanned
+        inner._refresh_mcd(v_star, (u, v), k + 1)
+        return UpdateResult("insert", (u, v), k, tuple(v_star), visited)
+
+    def remove_edge(self, u: Vertex, v: Vertex):
+        return self._inner.remove_edge(u, v)
+
+    def check(self) -> None:
+        self._inner.check()

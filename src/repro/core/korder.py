@@ -1,0 +1,186 @@
+"""The maintained k-order index (Section VI of the paper).
+
+A :class:`KOrder` is the concatenation ``O_0 O_1 O_2 ...`` of per-core
+blocks.  Each block is an :class:`~repro.structures.treap.OrderStatisticTreap`
+(the paper's ``A_k``), so order tests inside a block cost ``O(log |O_k|)``
+and cross-block tests are a core-number comparison.  The structure also owns
+``deg+`` (Definition 5.2): for every vertex, the number of its neighbors
+appearing *after* it in the global order.
+
+Invariant (Lemma 5.1): the order is a valid k-order iff for every ``k`` and
+every ``v`` in ``O_k``, ``deg+(v) <= k``.  :meth:`KOrder.audit` verifies
+this, plus the consistency of ``deg+`` itself, and is wired into the
+engines' ``audit`` mode used heavily by the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator, Optional
+
+from repro.core.decomposition import KOrderDecomposition
+from repro.errors import InvariantViolationError
+from repro.graphs.undirected import DynamicGraph
+from repro.structures.treap import OrderStatisticTreap
+
+Vertex = Hashable
+
+
+class KOrder:
+    """Per-core-number blocks of vertices in maintained k-order."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random()
+        self._blocks: dict[int, OrderStatisticTreap] = {}
+        self._k_of: dict[Vertex, int] = {}
+        #: ``deg+``: neighbors after the vertex in the global order.
+        self.deg_plus: dict[Vertex, int] = {}
+
+    @classmethod
+    def from_decomposition(
+        cls,
+        decomposition: KOrderDecomposition,
+        rng: Optional[random.Random] = None,
+    ) -> "KOrder":
+        """Build the index from a static decomposition's order."""
+        ko = cls(rng)
+        for vertex in decomposition.order:
+            ko.append(decomposition.core[vertex], vertex)
+        ko.deg_plus.update(decomposition.deg_plus)
+        return ko
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._k_of)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._k_of
+
+    def k_of(self, vertex: Vertex) -> int:
+        """The block (core number) the vertex currently lives in."""
+        return self._k_of[vertex]
+
+    def block(self, k: int) -> OrderStatisticTreap:
+        """The treap of block ``O_k``, created on first access."""
+        treap = self._blocks.get(k)
+        if treap is None:
+            treap = self._blocks[k] = OrderStatisticTreap(rng=self._rng)
+        return treap
+
+    def block_sizes(self) -> dict[int, int]:
+        """Map ``k -> |O_k|`` over non-empty blocks."""
+        return {k: len(t) for k, t in self._blocks.items() if len(t)}
+
+    def precedes(self, u: Vertex, v: Vertex) -> bool:
+        """Global order test ``u ≼ v`` (strict)."""
+        ku, kv = self._k_of[u], self._k_of[v]
+        if ku != kv:
+            return ku < kv
+        return self._blocks[ku].precedes(u, v)
+
+    def rank_in_block(self, vertex: Vertex) -> int:
+        """0-based position of the vertex inside its block."""
+        return self._blocks[self._k_of[vertex]].rank(vertex)
+
+    def iter_block(self, k: int) -> Iterator[Vertex]:
+        """Left-to-right iteration over block ``O_k`` (empty if absent)."""
+        treap = self._blocks.get(k)
+        return iter(treap) if treap is not None else iter(())
+
+    def order(self) -> list[Vertex]:
+        """The full k-order as a list (``O_0 O_1 O_2 ...``)."""
+        out: list[Vertex] = []
+        for k in sorted(self._blocks):
+            out.extend(self._blocks[k])
+        return out
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def append(self, k: int, vertex: Vertex) -> None:
+        """Append ``vertex`` at the end of block ``O_k``."""
+        self.block(k).insert_back(vertex)
+        self._k_of[vertex] = k
+
+    def prepend_chain(self, k: int, vertices: Iterable[Vertex]) -> None:
+        """Insert ``vertices`` at the *front* of ``O_k``, preserving their
+        given relative order — the ``OrderInsert`` ending-phase move."""
+        treap = self.block(k)
+        treap.extend_front(vertices)
+        for vertex in vertices:
+            self._k_of[vertex] = k
+
+    def remove(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` from its block (``deg+`` entry kept)."""
+        k = self._k_of.pop(vertex)
+        treap = self._blocks[k]
+        treap.remove(vertex)
+        if not treap:
+            del self._blocks[k]
+
+    def forget(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and drop its ``deg+`` (vertex left the graph)."""
+        self.remove(vertex)
+        self.deg_plus.pop(vertex, None)
+
+    def move_after(self, anchor: Vertex, vertex: Vertex) -> None:
+        """Reposition ``vertex`` immediately after ``anchor`` in the same
+        block — the Observation 6.1 adjustment for evicted candidates."""
+        k = self._k_of[vertex]
+        if self._k_of[anchor] != k:
+            raise InvariantViolationError(
+                f"move_after across blocks: {anchor!r} in O_{self._k_of[anchor]}, "
+                f"{vertex!r} in O_{k}"
+            )
+        treap = self._blocks[k]
+        treap.remove(vertex)
+        treap.insert_after(anchor, vertex)
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def audit(self, graph: DynamicGraph, core: dict[Vertex, int]) -> None:
+        """Verify the full index against the graph.
+
+        Checks, raising :class:`InvariantViolationError` on failure:
+
+        * every graph vertex is indexed exactly once, in block ``core(v)``;
+        * ``deg+(v)`` equals the number of neighbors after ``v``;
+        * Lemma 5.1: ``deg+(v) <= k`` for every ``v`` in ``O_k``.
+        """
+        if len(self._k_of) != graph.n:
+            raise InvariantViolationError(
+                f"index holds {len(self._k_of)} vertices, graph has {graph.n}"
+            )
+        position: dict[Vertex, int] = {}
+        offset = 0
+        for k in sorted(self._blocks):
+            treap = self._blocks[k]
+            for i, vertex in enumerate(treap):
+                position[vertex] = offset + i
+                if core[vertex] != k:
+                    raise InvariantViolationError(
+                        f"{vertex!r} in block O_{k} but core={core[vertex]}"
+                    )
+            offset += len(treap)
+        for vertex in graph.vertices():
+            if vertex not in position:
+                raise InvariantViolationError(f"{vertex!r} missing from k-order")
+            later = sum(
+                1 for w in graph.adj[vertex] if position[w] > position[vertex]
+            )
+            if self.deg_plus.get(vertex) != later:
+                raise InvariantViolationError(
+                    f"deg+({vertex!r}) = {self.deg_plus.get(vertex)} "
+                    f"but {later} neighbors follow it"
+                )
+            if later > self._k_of[vertex]:
+                raise InvariantViolationError(
+                    f"Lemma 5.1 violated at {vertex!r}: deg+ {later} > "
+                    f"k {self._k_of[vertex]}"
+                )

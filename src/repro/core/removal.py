@@ -1,0 +1,114 @@
+"""``OrderRemoval`` — Algorithm 4 of the paper.
+
+Finding ``V*`` reuses the traversal-removal cascade: initialize
+``cd(w) = mcd(w)`` lazily for touched vertices and repeatedly dispose of
+core-``K`` vertices whose ``cd`` dropped below ``K`` (they cannot stay in
+the ``K``-core).  That part is already cheap — ``O(sum deg over V*)``.
+
+The paper's gain on removals is the *index* repair: instead of the 2-hop
+``pcd`` maintenance of the traversal algorithm, only the k-order is
+repaired: every disposed vertex is appended, in disposal order, to the end
+of ``O_{K-1}``; its own ``deg+`` is recomputed from its neighborhood, and
+each still-core-``K`` neighbor that preceded it loses one ``deg+`` unit
+(the vertex jumped from after them to before them).  Vertices already in
+``O_{K-1}`` are unaffected (the newcomers land *behind* them).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.korder import KOrder
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+
+
+def order_remove(
+    graph: DynamicGraph,
+    korder: KOrder,
+    core: dict[Vertex, int],
+    mcd: dict[Vertex, int],
+    u: Vertex,
+    v: Vertex,
+) -> tuple[list[Vertex], int, int]:
+    """Remove ``(u, v)`` and repair ``core`` and ``korder``.
+
+    ``mcd`` must be the maintained max-core degrees; this function applies
+    the paper's early endpoint decrements (Algorithm 4 lines 3-4) so the
+    cascade sees correct bounds, but the caller performs the final ``mcd``
+    refresh for ``V*`` neighborhoods.
+
+    Returns ``(v_star, K, visited)`` with ``v_star`` in disposal order and
+    ``visited`` the number of vertices whose ``cd`` was materialized.
+    """
+    cu, cv = core[u], core[v]
+    K = min(cu, cv)
+
+    # The departing edge leaves the earlier endpoint's deg+ (it counted the
+    # later endpoint).  Must be decided before the edge leaves the graph.
+    if cu < cv or (cu == cv and korder.precedes(u, v)):
+        korder.deg_plus[u] -= 1
+    else:
+        korder.deg_plus[v] -= 1
+    graph.remove_edge(u, v)
+
+    # Early mcd decrements (Algorithm 4, lines 3-4).
+    if cu <= cv:
+        mcd[u] -= 1
+    if cv <= cu:
+        mcd[v] -= 1
+
+    # Find V* with the traversal-removal cascade (Section IV-B).
+    if cu < cv:
+        roots = (u,)
+    elif cv < cu:
+        roots = (v,)
+    else:
+        roots = (u, v)
+    cd: dict[Vertex, int] = {}
+    queued: set[Vertex] = set()
+    stack: list[Vertex] = []
+    for root in roots:
+        cd[root] = mcd[root]
+        if cd[root] < K:
+            stack.append(root)
+            queued.add(root)
+    disposed: list[Vertex] = []
+    while stack:
+        w = stack.pop()
+        disposed.append(w)
+        core[w] = K - 1
+        for z in graph.adj[w]:
+            if core.get(z) != K:
+                continue
+            bound = cd.get(z)
+            if bound is None:
+                bound = mcd[z]
+            bound -= 1
+            cd[z] = bound
+            if bound < K and z not in queued:
+                stack.append(z)
+                queued.add(z)
+
+    # Repair the k-order: move V* members to the tail of O_{K-1}.
+    if disposed:
+        remaining = set(disposed)
+        block = korder.block(K)
+        deg_plus = korder.deg_plus
+        for w in disposed:
+            remaining.discard(w)
+            rank_w = block.rank(w)
+            new_plus = 0
+            for z in graph.adj[w]:
+                cz = core[z]
+                if cz == K and block.rank(z) < rank_w:
+                    # z stays in O_K; w jumps from after z to before it.
+                    deg_plus[z] -= 1
+                if cz >= K or z in remaining:
+                    new_plus += 1
+            deg_plus[w] = new_plus
+            korder.remove(w)
+            korder.append(K - 1, w)
+
+    return disposed, K, len(cd)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch the whole family with one ``except`` clause while still
+being able to distinguish the specific failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors about the graph structure itself."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """An edge being inserted is already present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self loops are not supported by k-core semantics in this library."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class MaintainerError(ReproError):
+    """Base class for core-maintenance engine errors."""
+
+
+class StaleIndexError(MaintainerError, RuntimeError):
+    """The maintained index no longer matches the graph it was built for."""
+
+
+class InvariantViolationError(MaintainerError, AssertionError):
+    """An internal invariant audit failed (indicates a library bug)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A benchmark workload was mis-specified (e.g. sampling too many edges)."""
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown dataset {name!r}; known datasets: {', '.join(known)}"
+        )
+        self.name = name
+        self.known = known

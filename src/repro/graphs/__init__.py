@@ -1,0 +1,19 @@
+"""Graph substrate: dynamic undirected graphs, generators, IO, datasets."""
+
+from repro.graphs.undirected import DynamicGraph
+from repro.graphs.temporal import TemporalEdgeStream
+from repro.graphs.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "DynamicGraph",
+    "TemporalEdgeStream",
+    "dataset_names",
+    "load_dataset",
+]

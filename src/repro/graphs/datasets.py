@@ -1,0 +1,250 @@
+"""Registry of the 11 evaluation datasets (synthetic stand-ins).
+
+The paper evaluates on 11 public graphs (Table I).  Offline we substitute
+each with a generator from :mod:`repro.graphs.generators` whose structural
+profile — degree distribution, clustering, coreness — matches the original
+(see DESIGN.md §2 for the substitution rationale).  Sizes default to a few
+thousand vertices so pure-Python experiments finish quickly; pass a larger
+``scale`` to grow any dataset proportionally, or set the ``REPRO_SCALE``
+environment variable to rescale every experiment at once.
+
+Each spec also records the *paper's* published statistics so Table I can be
+reproduced side by side (paper numbers vs stand-in numbers).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import DatasetError
+from repro.graphs import generators
+from repro.graphs.temporal import TemporalEdgeStream
+from repro.graphs.undirected import DynamicGraph
+
+Edge = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Statistics of the original dataset as published in Table I."""
+
+    n: int
+    m: int
+    avg_deg: float
+    max_k: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset: generator recipe + published statistics."""
+
+    name: str
+    kind: str
+    temporal: bool
+    builder: Callable[[float, int], list[Edge]]
+    paper: PaperStats
+    description: str = ""
+
+
+@dataclass
+class LoadedDataset:
+    """A generated dataset instance."""
+
+    spec: DatasetSpec
+    edges: list[Edge] = field(repr=False)
+    seed: int
+    scale: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def graph(self) -> DynamicGraph:
+        """The full graph."""
+        return DynamicGraph.from_edges(self.edges)
+
+    def stream(self) -> TemporalEdgeStream:
+        """The dataset as a temporal stream (generation order = time)."""
+        return TemporalEdgeStream.from_edges(self.edges)
+
+
+def _env_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def _sz(base: int, scale: float) -> int:
+    return max(16, int(base * scale))
+
+
+# ----------------------------------------------------------------------
+# Builders: one per dataset.  ``scale`` multiplies vertex counts; degree
+# parameters stay fixed so the degree distribution is scale-invariant.
+# ----------------------------------------------------------------------
+
+def _facebook(scale: float, seed: int) -> list[Edge]:
+    return generators.powerlaw_cluster(
+        n=_sz(3000, scale), m_attach=13, triangle_prob=0.6, seed=seed
+    )
+
+
+def _youtube(scale: float, seed: int) -> list[Edge]:
+    return generators.chung_lu(
+        n=_sz(9000, scale), avg_deg=5.8, exponent=2.2, seed=seed
+    )
+
+
+def _dblp(scale: float, seed: int) -> list[Edge]:
+    n = _sz(5000, scale)
+    return generators.affiliation_collaboration(
+        n=n, n_events=int(n * 1.4), max_event_size=6, seed=seed
+    )
+
+
+def _patents(scale: float, seed: int) -> list[Edge]:
+    return generators.layered_citation(n=_sz(8000, scale), refs_mean=4.4, seed=seed)
+
+
+def _orkut(scale: float, seed: int) -> list[Edge]:
+    return generators.powerlaw_cluster(
+        n=_sz(2500, scale), m_attach=38, triangle_prob=0.3, seed=seed
+    )
+
+
+def _livejournal(scale: float, seed: int) -> list[Edge]:
+    return generators.barabasi_albert(n=_sz(6000, scale), m_attach=9, seed=seed)
+
+
+def _gowalla(scale: float, seed: int) -> list[Edge]:
+    return generators.chung_lu(
+        n=_sz(4000, scale), avg_deg=9.7, exponent=2.4, seed=seed
+    )
+
+
+def _ca(scale: float, seed: int) -> list[Edge]:
+    rows = _sz(45, scale**0.5)
+    cols = _sz(44, scale**0.5)
+    return generators.road_grid(
+        rows=rows, cols=cols, keep_prob=0.72, diagonal_prob=0.08, seed=seed
+    )
+
+
+def _pokec(scale: float, seed: int) -> list[Edge]:
+    return generators.barabasi_albert(n=_sz(5000, scale), m_attach=14, seed=seed)
+
+
+def _berkstan(scale: float, seed: int) -> list[Edge]:
+    return generators.copying_model(
+        n=_sz(4000, scale), out_degree=10, copy_prob=0.75, seed=seed
+    )
+
+
+def _google(scale: float, seed: int) -> list[Edge]:
+    return generators.copying_model(
+        n=_sz(5000, scale), out_degree=5, copy_prob=0.6, seed=seed
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            "facebook", "social (temporal)", True, _facebook,
+            PaperStats(63_731, 817_035, 25.64, 52),
+            "Dense friendship network with timestamps.",
+        ),
+        DatasetSpec(
+            "youtube", "social (temporal)", True, _youtube,
+            PaperStats(3_223_589, 9_375_374, 5.82, 88),
+            "Sparse heavy-tailed subscription network.",
+        ),
+        DatasetSpec(
+            "dblp", "collaboration (temporal)", True, _dblp,
+            PaperStats(1_314_050, 5_362_414, 8.16, 118),
+            "Co-authorship cliques accreted paper by paper.",
+        ),
+        DatasetSpec(
+            "patents", "citation", False, _patents,
+            PaperStats(3_774_768, 16_518_947, 8.75, 64),
+            "Layered citation graph; the traversal algorithm's worst case.",
+        ),
+        DatasetSpec(
+            "orkut", "social", False, _orkut,
+            PaperStats(3_072_441, 117_185_083, 76.28, 253),
+            "Very dense social network.",
+        ),
+        DatasetSpec(
+            "livejournal", "social", False, _livejournal,
+            PaperStats(4_846_609, 42_851_237, 17.68, 372),
+            "Large blogging community graph.",
+        ),
+        DatasetSpec(
+            "gowalla", "location-based social", False, _gowalla,
+            PaperStats(196_591, 950_327, 9.67, 51),
+            "Check-in friendship network.",
+        ),
+        DatasetSpec(
+            "ca", "road", False, _ca,
+            PaperStats(1_965_206, 2_766_607, 2.82, 3),
+            "California road network; near-planar, max coreness 3.",
+        ),
+        DatasetSpec(
+            "pokec", "social", False, _pokec,
+            PaperStats(1_632_803, 22_301_964, 27.32, 47),
+            "Slovak social network.",
+        ),
+        DatasetSpec(
+            "berkstan", "web", False, _berkstan,
+            PaperStats(685_230, 6_649_470, 19.41, 201),
+            "Berkeley/Stanford web crawl; dense nucleus.",
+        ),
+        DatasetSpec(
+            "google", "web", False, _google,
+            PaperStats(875_713, 4_322_051, 9.87, 44),
+            "Google web graph.",
+        ),
+    )
+}
+
+#: The three graphs the paper uses for scalability/stability experiments.
+LARGEST_THREE = ("patents", "orkut", "livejournal")
+
+#: The two graphs used for the pc/sc/oc distribution study (Fig. 5).
+FIG5_PAIR = ("patents", "orkut")
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Names of all registered datasets, in Table I order."""
+    return tuple(DATASETS)
+
+
+def load_dataset(
+    name: str,
+    scale: Optional[float] = None,
+    seed: int = 42,
+) -> LoadedDataset:
+    """Generate a dataset stand-in.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    scale:
+        Multiplier on the base vertex count; defaults to the ``REPRO_SCALE``
+        environment variable (itself defaulting to 1.0).
+    seed:
+        RNG seed — the same (name, scale, seed) triple always yields the
+        identical edge list.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise DatasetError(name, dataset_names()) from None
+    if scale is None:
+        scale = _env_scale()
+    edges = spec.builder(scale, seed)
+    return LoadedDataset(spec=spec, edges=edges, seed=seed, scale=scale)

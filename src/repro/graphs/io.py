@@ -1,0 +1,161 @@
+"""Edge-list readers and writers (SNAP and Konect formats).
+
+The paper's datasets ship as plain-text edge lists:
+
+* SNAP format — ``u<TAB>v`` per line, ``#`` comments;
+* Konect format — ``u v [weight [timestamp]]`` per line, ``%`` comments.
+
+Both are supported, with transparent gzip based on the ``.gz`` suffix.
+Directed inputs are converted to undirected simple graphs the same way the
+paper does: direction dropped, duplicates and self-loops skipped.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from repro.graphs.temporal import TemporalEdgeStream
+from repro.graphs.undirected import DynamicGraph
+
+Edge = tuple[int, int]
+PathLike = Union[str, Path]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_lines(path: PathLike) -> Iterator[list[str]]:
+    """Yield whitespace-split fields of every non-comment, non-blank line."""
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            yield line.split()
+
+
+def read_edge_list(path: PathLike) -> list[Edge]:
+    """Read a (possibly directed) edge list as undirected simple edges.
+
+    Duplicate edges (in either direction) and self-loops are dropped,
+    matching the paper's preprocessing of the SNAP graphs.
+    """
+    seen: set[Edge] = set()
+    edges: list[Edge] = []
+    for fields in iter_edge_lines(path):
+        u, v = int(fields[0]), int(fields[1])
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e in seen:
+            continue
+        seen.add(e)
+        edges.append(e)
+    return edges
+
+
+def read_temporal_edge_list(path: PathLike, time_column: int = 3) -> TemporalEdgeStream:
+    """Read a Konect-style temporal edge list.
+
+    ``time_column`` is the 0-based field index of the timestamp (Konect uses
+    ``u v weight timestamp``, i.e. column 3).  Duplicate undirected edges
+    keep their earliest occurrence.
+    """
+    seen: set[Edge] = set()
+    timed: list[tuple[int, int, float]] = []
+    for fields in iter_edge_lines(path):
+        u, v = int(fields[0]), int(fields[1])
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e in seen:
+            continue
+        seen.add(e)
+        t = float(fields[time_column]) if len(fields) > time_column else float(len(timed))
+        timed.append((e[0], e[1], t))
+    return TemporalEdgeStream(timed)
+
+
+def write_edge_list(path: PathLike, edges: Iterable[Edge], header: str = "") -> int:
+    """Write edges one per line; returns the number written."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in edges:
+            handle.write(f"{u}\t{v}\n")
+            count += 1
+    return count
+
+
+def write_graph(path: PathLike, graph: DynamicGraph) -> int:
+    """Write a graph's edge set (isolated vertices are not preserved)."""
+    return write_edge_list(path, graph.edges())
+
+
+def read_graph(path: PathLike) -> DynamicGraph:
+    """Read an edge list straight into a :class:`DynamicGraph`."""
+    return DynamicGraph.from_edges(read_edge_list(path))
+
+
+# ----------------------------------------------------------------------
+# METIS adjacency format (used by partitioners and several core-
+# decomposition artifact repositories).
+# ----------------------------------------------------------------------
+
+def write_metis(path: PathLike, graph: DynamicGraph) -> int:
+    """Write a graph in METIS format (1-based adjacency lines).
+
+    METIS requires contiguous integer vertex ids; arbitrary hashable
+    vertices are mapped to ``1..n`` in sorted-by-repr order.  Returns the
+    number of vertices written.
+    """
+    ordered = sorted(graph.vertices(), key=repr)
+    index = {v: i + 1 for i, v in enumerate(ordered)}
+    with _open_text(path, "w") as handle:
+        handle.write(f"{graph.n} {graph.m}\n")
+        for v in ordered:
+            neighbors = sorted(index[w] for w in graph.adj[v])
+            handle.write(" ".join(str(w) for w in neighbors) + "\n")
+    return graph.n
+
+
+def read_metis(path: PathLike) -> DynamicGraph:
+    """Read a METIS adjacency file into a graph (vertices ``1..n``).
+
+    Only the plain unweighted format is supported; a format code other
+    than ``0``/absent raises :class:`ValueError`.
+    """
+    graph = DynamicGraph()
+    header: Optional[tuple[int, int]] = None
+    vertex = 0
+    for fields in iter_edge_lines(path):
+        if header is None:
+            if len(fields) >= 3 and fields[2] not in ("0", "00"):
+                raise ValueError(
+                    f"unsupported METIS format code {fields[2]!r}"
+                )
+            header = (int(fields[0]), int(fields[1]))
+            for v in range(1, header[0] + 1):
+                graph.add_vertex(v)
+            continue
+        vertex += 1
+        for token in fields:
+            w = int(token)
+            if not graph.has_edge(vertex, w) and vertex != w:
+                graph.add_edge(vertex, w)
+    if header is not None and graph.m != header[1]:
+        raise ValueError(
+            f"METIS header declares {header[1]} edges, found {graph.m}"
+        )
+    return graph

@@ -1,0 +1,88 @@
+"""Timestamped edge streams.
+
+The paper's temporal datasets (Facebook, Youtube, DBLP) carry edge
+timestamps; the insertion workload replays the *latest* 100,000 edges in
+timestamp order.  :class:`TemporalEdgeStream` models exactly that: an edge
+sequence sorted by timestamp with cheap suffix/prefix slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.graphs.undirected import DynamicGraph
+
+Edge = tuple[int, int]
+TimedEdge = tuple[int, int, float]
+
+
+class TemporalEdgeStream:
+    """An edge sequence ordered by timestamp."""
+
+    def __init__(self, timed_edges: Iterable[TimedEdge]) -> None:
+        self._edges: list[TimedEdge] = list(timed_edges)
+        for earlier, later in zip(self._edges, self._edges[1:]):
+            if earlier[2] > later[2]:
+                self._edges.sort(key=lambda e: e[2])
+                break
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "TemporalEdgeStream":
+        """Wrap plain edges; position in the sequence becomes the timestamp."""
+        return cls((u, v, float(t)) for t, (u, v) in enumerate(edges))
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[TimedEdge]:
+        return iter(self._edges)
+
+    def __getitem__(self, index: int) -> TimedEdge:
+        return self._edges[index]
+
+    def edges(self) -> list[Edge]:
+        """All edges (timestamps dropped), oldest first."""
+        return [(u, v) for u, v, _ in self._edges]
+
+    def latest(self, k: int) -> list[Edge]:
+        """The ``k`` most recent edges, oldest-of-the-k first.
+
+        This is the paper's workload for the temporal graphs: "select the
+        latest 100,000 edges".
+        """
+        if k < 0 or k > len(self._edges):
+            raise WorkloadError(
+                f"cannot take latest {k} of {len(self._edges)} edges"
+            )
+        return [(u, v) for u, v, _ in self._edges[len(self._edges) - k :]]
+
+    def split_at(self, index: int) -> tuple[list[Edge], list[Edge]]:
+        """Split into (history, future) at ``index``."""
+        if index < 0 or index > len(self._edges):
+            raise WorkloadError(f"split index {index} out of range")
+        history = [(u, v) for u, v, _ in self._edges[:index]]
+        future = [(u, v) for u, v, _ in self._edges[index:]]
+        return history, future
+
+    def time_range(self) -> Optional[tuple[float, float]]:
+        """(min timestamp, max timestamp), or ``None`` when empty."""
+        if not self._edges:
+            return None
+        return self._edges[0][2], self._edges[-1][2]
+
+    def graph(self) -> DynamicGraph:
+        """Materialize the full stream as a graph."""
+        return DynamicGraph.from_edges((u, v) for u, v, _ in self._edges)
+
+    def graph_before(self, index: int) -> DynamicGraph:
+        """Graph of the first ``index`` edges; vertices of later edges are
+        included as isolated vertices so maintainers know about them."""
+        history, future = self.split_at(index)
+        g = DynamicGraph.from_edges(history)
+        for u, v in future:
+            g.add_vertex(u)
+            g.add_vertex(v)
+        return g

@@ -1,0 +1,5 @@
+"""Recompute-from-scratch engine: correctness oracle and cost floor."""
+
+from repro.naive.maintainer import NaiveCoreMaintainer
+
+__all__ = ["NaiveCoreMaintainer"]

@@ -1,0 +1,64 @@
+"""Core "maintenance" by full recomputation.
+
+Runs ``CoreDecomp`` after every update — ``O(m + n)`` per edge, which is
+exactly the cost the maintenance algorithms exist to avoid.  It serves two
+purposes here:
+
+* the correctness oracle for the test-suite (every other engine must agree
+  with it after every update);
+* the from-scratch baseline the paper's introduction argues against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.base import CoreMaintainer, UpdateResult
+from repro.core.decomposition import core_numbers
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+
+
+class NaiveCoreMaintainer(CoreMaintainer):
+    """Recompute all core numbers from scratch after each update."""
+
+    name = "naive"
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        super().__init__(graph)
+        self._core: dict[Vertex, int] = core_numbers(graph)
+
+    @property
+    def core(self) -> Mapping[Vertex, int]:
+        return self._core
+
+    def add_vertex(self, vertex: Vertex) -> bool:
+        if not self._graph.add_vertex(vertex):
+            return False
+        self._core[vertex] = 0
+        return True
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        self._graph.add_vertex(u)
+        self._graph.add_vertex(v)
+        k = min(self._core.get(u, 0), self._core.get(v, 0))
+        self._graph.add_edge(u, v)
+        return self._recompute("insert", (u, v), k)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        k = min(self._core[u], self._core[v])
+        self._graph.remove_edge(u, v)
+        return self._recompute("remove", (u, v), k)
+
+    def _recompute(self, kind: str, edge: tuple, k: int) -> UpdateResult:
+        new_core = core_numbers(self._graph)
+        changed = tuple(
+            v for v, c in new_core.items() if self._core.get(v) != c
+        )
+        self._core = new_core
+        # The whole graph is "visited" by a recomputation.
+        return UpdateResult(kind, edge, k, changed, self._graph.n)
+
+    def _forget_vertex(self, vertex: Vertex) -> None:
+        self._core.pop(vertex, None)

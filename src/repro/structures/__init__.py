@@ -1,0 +1,27 @@
+"""Low-level data structures used by the core-maintenance engines.
+
+The paper's index (Section VI) is built from three structures, all of which
+are implemented here from scratch:
+
+* :class:`~repro.structures.treap.OrderStatisticTreap` — the per-``k``
+  order-statistic tree ``A_k`` that answers "does ``u`` precede ``v``?" in
+  ``O(log |O_k|)`` via rank queries, and supports positional insertion and
+  deletion.
+* :class:`~repro.structures.heaps.LazyMinHeap` — the jump heap ``B`` used by
+  ``OrderInsert`` to skip over vertices that can be proven irrelevant.
+* :class:`~repro.structures.buckets.DegreeBuckets` /
+  :class:`~repro.structures.buckets.IndexedSet` — bucketed degree queues
+  powering the linear-time peeling (``CoreDecomp``) under the three k-order
+  generation heuristics.
+"""
+
+from repro.structures.buckets import DegreeBuckets, IndexedSet
+from repro.structures.heaps import LazyMinHeap
+from repro.structures.treap import OrderStatisticTreap
+
+__all__ = [
+    "DegreeBuckets",
+    "IndexedSet",
+    "LazyMinHeap",
+    "OrderStatisticTreap",
+]

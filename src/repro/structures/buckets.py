@@ -1,0 +1,210 @@
+"""Bucketed degree queues for linear-time core decomposition.
+
+``CoreDecomp`` (Algorithm 1 of the paper) peels vertices whose remaining
+degree is below the current ``k``.  The classic Batagelj–Zaversnik
+implementation keeps vertices bucketed by their *current* degree so the next
+vertex to peel is found in amortized ``O(1)``.
+
+Two structures live here:
+
+* :class:`IndexedSet` — a set with O(1) membership, insertion, removal *and*
+  O(1) uniform random sampling (array + position map with swap-removal).
+  Random sampling is what the "random deg+ first" k-order heuristic needs.
+* :class:`DegreeBuckets` — vertices bucketed by current degree, supporting
+  ``decrease``, removal, and extraction of the minimum / maximum / random
+  vertex among those whose degree is below a bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator, Optional
+
+
+class IndexedSet:
+    """A hash set that also supports O(1) uniform random choice."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._items: list[Hashable] = []
+        self._pos: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    def add(self, item: Hashable) -> bool:
+        """Insert ``item``; returns ``False`` if it was already present."""
+        if item in self._pos:
+            return False
+        self._pos[item] = len(self._items)
+        self._items.append(item)
+        return True
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove ``item`` if present (swap with the tail; O(1))."""
+        pos = self._pos.pop(item, None)
+        if pos is None:
+            return False
+        tail = self._items.pop()
+        if pos < len(self._items):
+            # ``item`` was not the tail: move the tail into its slot.
+            self._items[pos] = tail
+            self._pos[tail] = pos
+        return True
+
+    def pop_any(self) -> Hashable:
+        """Remove and return an arbitrary item (the array tail)."""
+        if not self._items:
+            raise KeyError("pop from empty IndexedSet")
+        item = self._items[-1]
+        self.discard(item)
+        return item
+
+    def choose(self, rng: random.Random) -> Hashable:
+        """Uniformly random member (not removed)."""
+        if not self._items:
+            raise KeyError("choose from empty IndexedSet")
+        return self._items[rng.randrange(len(self._items))]
+
+    def pop_random(self, rng: random.Random) -> Hashable:
+        """Remove and return a uniformly random member."""
+        item = self.choose(rng)
+        self.discard(item)
+        return item
+
+
+class DegreeBuckets:
+    """Vertices bucketed by current degree.
+
+    Supports the three peeling policies used to generate k-orders:
+
+    * ``pop_min()`` — smallest-degree vertex (the "small deg+ first"
+      heuristic, i.e. the canonical BZ order);
+    * ``pop_max_below(bound)`` — largest-degree vertex with degree < bound
+      ("large deg+ first");
+    * ``pop_random_below(bound, rng)`` — uniform vertex with degree < bound
+      ("random deg+ first").
+
+    ``decrease(v)`` moves a vertex one bucket down; degrees never increase
+    during peeling, which keeps the min-pointer amortized O(1).
+    """
+
+    def __init__(self, degrees: dict[Hashable, int]) -> None:
+        self._degree: dict[Hashable, int] = dict(degrees)
+        max_deg = max(self._degree.values(), default=0)
+        self._buckets: list[IndexedSet] = [IndexedSet() for _ in range(max_deg + 1)]
+        for vertex, degree in self._degree.items():
+            if degree < 0:
+                raise ValueError(f"negative degree for {vertex!r}")
+            self._buckets[degree].add(vertex)
+        self._min_ptr = 0
+        self._size = len(self._degree)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self._degree
+
+    def degree_of(self, vertex: Hashable) -> int:
+        """Current (remaining) degree of ``vertex``."""
+        return self._degree[vertex]
+
+    def decrease(self, vertex: Hashable) -> int:
+        """Decrement the degree of ``vertex`` by one; returns the new degree."""
+        degree = self._degree[vertex]
+        if degree == 0:
+            raise ValueError(f"degree of {vertex!r} already 0")
+        self._buckets[degree].discard(vertex)
+        degree -= 1
+        self._degree[vertex] = degree
+        self._buckets[degree].add(vertex)
+        if degree < self._min_ptr:
+            self._min_ptr = degree
+        return degree
+
+    def remove(self, vertex: Hashable) -> int:
+        """Remove ``vertex``; returns the degree it had."""
+        degree = self._degree.pop(vertex)
+        self._buckets[degree].discard(vertex)
+        self._size -= 1
+        return degree
+
+    def pop_min(self) -> tuple[Hashable, int]:
+        """Remove and return ``(vertex, degree)`` with the smallest degree."""
+        if not self._size:
+            raise KeyError("pop from empty DegreeBuckets")
+        while self._min_ptr < len(self._buckets) and not self._buckets[self._min_ptr]:
+            self._min_ptr += 1
+        bucket = self._buckets[self._min_ptr]
+        vertex = bucket.pop_any()
+        degree = self._degree.pop(vertex)
+        self._size -= 1
+        return vertex, degree
+
+    def min_degree(self) -> Optional[int]:
+        """Smallest current degree, or ``None`` when empty."""
+        if not self._size:
+            return None
+        while self._min_ptr < len(self._buckets) and not self._buckets[self._min_ptr]:
+            self._min_ptr += 1
+        return self._min_ptr
+
+    def pop_max_below(self, bound: int) -> Optional[tuple[Hashable, int]]:
+        """Remove the largest-degree vertex with degree < ``bound``.
+
+        Returns ``None`` when no vertex qualifies.  Linear scan downwards
+        from ``bound - 1``; the peeling loops call this with slowly growing
+        ``bound`` so the scan cost is amortized over the whole peel.
+        """
+        top = min(bound - 1, len(self._buckets) - 1)
+        for degree in range(top, -1, -1):
+            bucket = self._buckets[degree]
+            if bucket:
+                vertex = bucket.pop_any()
+                self._degree.pop(vertex)
+                self._size -= 1
+                return vertex, degree
+        return None
+
+    def pop_random_below(
+        self, bound: int, rng: random.Random
+    ) -> Optional[tuple[Hashable, int]]:
+        """Remove a uniformly random vertex among those with degree < ``bound``.
+
+        Uniformity is over the union of qualifying buckets, achieved by
+        weighting each non-empty bucket by its size.
+        """
+        top = min(bound - 1, len(self._buckets) - 1)
+        total = 0
+        non_empty: list[IndexedSet] = []
+        for degree in range(0, top + 1):
+            bucket = self._buckets[degree]
+            if bucket:
+                non_empty.append(bucket)
+                total += len(bucket)
+        if total == 0:
+            return None
+        pick = rng.randrange(total)
+        for bucket in non_empty:
+            if pick < len(bucket):
+                vertex = bucket._items[pick]
+                bucket.discard(vertex)
+                degree = self._degree.pop(vertex)
+                self._size -= 1
+                return vertex, degree
+            pick -= len(bucket)
+        raise AssertionError("unreachable")  # pragma: no cover

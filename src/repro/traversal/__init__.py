@@ -1,0 +1,12 @@
+"""The traversal algorithm (Sariyüce et al.): the paper's baseline.
+
+Implements the PVLDB'13 traversal insertion/removal algorithms and the
+VLDBJ'16 multi-hop enhancement (``Trav-h`` for ``h >= 2``), including the
+expensive part the paper criticizes: maintenance of the residential-degree
+hierarchy (``mcd``, ``pcd``, and deeper levels) after every update.
+"""
+
+from repro.traversal.degrees import DegreeHierarchy
+from repro.traversal.maintainer import TraversalCoreMaintainer
+
+__all__ = ["DegreeHierarchy", "TraversalCoreMaintainer"]

@@ -1,0 +1,97 @@
+"""Traversal insertion: expand-shrink DFS with eviction propagation.
+
+From the root (the endpoint with the smaller core number, ``K``), a DFS
+visits vertices ``w`` with ``core(w) == K`` whose prune value exceeds ``K``
+(``mcd`` for Trav-2, ``r_{h-1}`` for Trav-h).  Every visited vertex gets a
+candidate degree ``cd(w)`` seeded from the top hierarchy level (``pcd`` for
+Trav-2) minus its already-evicted neighbors; when ``cd(w)`` is at most
+``K`` the vertex is evicted and the eviction propagates backwards through
+visited vertices.  Survivors are exactly ``V*``.
+
+This is the algorithm whose search space the paper measures in Figs. 1-2:
+``V'`` (the visited set) can be orders of magnitude larger than ``V*``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping
+
+from repro.graphs.undirected import DynamicGraph
+from repro.traversal.degrees import DegreeHierarchy
+
+Vertex = Hashable
+
+
+def traversal_insert_search(
+    graph: DynamicGraph,
+    core: Mapping[Vertex, int],
+    hierarchy: DegreeHierarchy,
+    root: Vertex,
+    k: int,
+) -> tuple[list[Vertex], int, int]:
+    """Find ``V*`` for an insertion at level ``k`` starting from ``root``.
+
+    The graph must already contain the new edge and the hierarchy must be
+    refreshed for it.  Returns ``(v_star, |V'|, |evicted|)``.
+    """
+    prune = hierarchy.prune_level()
+    seed = hierarchy.top
+    if prune[root] <= k:
+        # The root itself cannot reach core k+1, and V* must contain the
+        # root when non-empty (Theorem 3.2) — nothing to do.
+        return [], 1, 0
+
+    cd: dict[Vertex, int] = {}
+    visited: set[Vertex] = {root}
+    evicted: set[Vertex] = set()
+    cd[root] = seed[root]
+    stack: list[Vertex] = [root]
+
+    def visit(z: Vertex) -> None:
+        visited.add(z)
+        # Seed cd with the top-level estimate, corrected for neighbors that
+        # were already proven out: they are counted by the estimate (every
+        # visited vertex passes the prune filter) but cannot help z.
+        value = seed[z]
+        for y in graph.adj[z]:
+            if y in evicted:
+                value -= 1
+        cd[z] = value
+        stack.append(z)
+
+    while stack:
+        w = stack.pop()
+        if w in evicted:
+            continue
+        if cd[w] > k:
+            for z in graph.adj[w]:
+                if z not in visited and core[z] == k and prune[z] > k:
+                    visit(z)
+        else:
+            _propagate_eviction(graph, core, cd, visited, evicted, w, k)
+
+    v_star = [w for w in visited if w not in evicted]
+    return v_star, len(visited), len(evicted)
+
+
+def _propagate_eviction(
+    graph: DynamicGraph,
+    core: Mapping[Vertex, int],
+    cd: dict[Vertex, int],
+    visited: set[Vertex],
+    evicted: set[Vertex],
+    start: Vertex,
+    k: int,
+) -> None:
+    """Evict ``start`` and cascade through visited vertices (Section IV-A)."""
+    queue: deque[Vertex] = deque([start])
+    evicted.add(start)
+    while queue:
+        x = queue.popleft()
+        for z in graph.adj[x]:
+            if z in visited and z not in evicted and core[z] == k:
+                cd[z] -= 1
+                if cd[z] <= k:
+                    evicted.add(z)
+                    queue.append(z)

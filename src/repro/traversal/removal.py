@@ -1,0 +1,58 @@
+"""Traversal removal: the CoreDecomp-style cascade (Section IV-B).
+
+Rooted at the endpoint(s) at level ``K``, repeatedly dispose of vertices
+whose upper bound ``cd`` (lazily seeded from ``mcd``) dropped below ``K``;
+disposal decrements the bound of same-level neighbors.  Linear in
+``sum(deg(v) for v in V*)`` — the cheap part of the traversal algorithm.
+The expensive part, hierarchy maintenance, happens afterwards in the
+maintainer.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+
+
+def traversal_remove_search(
+    graph: DynamicGraph,
+    core: dict[Vertex, int],
+    mcd: Mapping[Vertex, int],
+    roots: tuple[Vertex, ...],
+    k: int,
+) -> tuple[list[Vertex], int]:
+    """Find and apply core decrements after an edge removal at level ``k``.
+
+    The edge must already be gone from ``graph`` and ``mcd`` already
+    decremented for the endpoints.  Mutates ``core`` (each disposed vertex
+    drops to ``k - 1``).  Returns ``(v_star, touched)`` where ``touched``
+    counts vertices whose bound was materialized.
+    """
+    cd: dict[Vertex, int] = {}
+    queued: set[Vertex] = set()
+    stack: list[Vertex] = []
+    for root in roots:
+        cd[root] = mcd[root]
+        if cd[root] < k:
+            stack.append(root)
+            queued.add(root)
+    disposed: list[Vertex] = []
+    while stack:
+        w = stack.pop()
+        disposed.append(w)
+        core[w] = k - 1
+        for z in graph.adj[w]:
+            if core[z] != k:
+                continue
+            bound = cd.get(z)
+            if bound is None:
+                bound = mcd[z]
+            bound -= 1
+            cd[z] = bound
+            if bound < k and z not in queued:
+                stack.append(z)
+                queued.add(z)
+    return disposed, len(cd)

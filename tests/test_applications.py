@@ -1,0 +1,195 @@
+"""Unit tests for the application layer (community, densest, engagement,
+resilience)."""
+
+import pytest
+
+from repro.applications.community import (
+    best_community,
+    community_timeline,
+    kcore_community,
+)
+from repro.applications.densest import (
+    densest_subgraph_peel,
+    density,
+    dynamic_densest,
+)
+from repro.applications.engagement import (
+    departure_cascade,
+    engagement_core,
+    engagement_strength,
+    fragile_vertices,
+)
+from repro.applications.resilience import core_resilience_profile
+from repro.core.decomposition import core_numbers
+from repro.core.maintainer import OrderedCoreMaintainer
+from repro.errors import VertexNotFoundError
+from repro.graphs.undirected import DynamicGraph
+
+from conftest import u
+
+
+class TestCommunity:
+    def test_community_within_kcore(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        assert kcore_community(m, 6, 3) == {6, 7, 8, 9}
+        # At k=2 the component extends through v2-v7 to the pentagon.
+        community = kcore_community(m, 6, 2)
+        assert {1, 2, 3, 4, 5, 6, 7, 8, 9} <= community
+
+    def test_disconnected_kcores_are_separate_communities(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        assert kcore_community(m, 10, 3) == {10, 11, 12, 13}
+
+    def test_query_below_k_returns_empty(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        assert kcore_community(m, u(0), 2) == set()
+
+    def test_missing_query_raises(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        with pytest.raises(VertexNotFoundError):
+            kcore_community(m, 99, 1)
+
+    def test_best_community(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        k, community = best_community(m, 6, min_size=2)
+        assert k == 3 and community == {6, 7, 8, 9}
+
+    def test_best_community_falls_back(self):
+        m = OrderedCoreMaintainer(DynamicGraph(vertices=[1]))
+        k, community = best_community(m, 1, min_size=2)
+        assert k == 0 and community == {1}
+
+    def test_community_timeline_grows(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        sizes = community_timeline(
+            m, 0, 2, [(3, 0), (3, 4), (4, 0), (4, 2)]
+        )
+        assert sizes[0] == 4  # closing the square pulls 3 into the 2-core
+        assert sizes[-1] == 5
+        assert sizes == sorted(sizes)
+
+
+class TestDensest:
+    def test_density_helper(self, triangle_graph):
+        assert density(triangle_graph, {0, 1, 2}) == pytest.approx(1.0)
+        assert density(triangle_graph, set()) == 0.0
+
+    def test_peel_finds_clique(self):
+        clique = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        tail = [(4, 10), (10, 11), (11, 12)]
+        g = DynamicGraph(clique + tail)
+        vertices, d = densest_subgraph_peel(g)
+        assert vertices == {0, 1, 2, 3, 4}
+        assert d == pytest.approx(2.0)
+
+    def test_peel_empty_graph(self):
+        assert densest_subgraph_peel(DynamicGraph()) == (set(), 0.0)
+
+    def test_peel_half_approximation(self, small_random_graph):
+        _, approx = densest_subgraph_peel(small_random_graph)
+        core = core_numbers(small_random_graph)
+        degeneracy = max(core.values())
+        # density <= degeneracy <= 2 * optimal density and the peel is a
+        # 1/2-approximation, so approx * 2 >= degeneracy / 2... the robust
+        # certified relation is: degeneracy/2 <= approx (peel contains the
+        # max-core prefix) and approx <= degeneracy.
+        assert approx <= degeneracy
+        assert 2 * approx >= degeneracy
+
+    def test_dynamic_densest_tracks_growth(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        tracker = dynamic_densest(m)
+        _, d0 = tracker.current()
+        assert d0 == pytest.approx(1.0)
+        # Grow a K5 around vertex 0.
+        for e in [(0, 4), (1, 4), (2, 4), (0, 3), (1, 3), (3, 4)]:
+            m.insert_edge(*e)
+        _, d1 = tracker.current()
+        assert d1 == pytest.approx(2.0)
+
+    def test_dynamic_densest_invalidate(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        tracker = dynamic_densest(m)
+        tracker.current()
+        tracker.invalidate()
+        vertices, _ = tracker.current()
+        assert vertices == {0, 1, 2}
+
+
+class TestEngagement:
+    def test_cascade_survivors_are_kcore(self, fig3_graph):
+        expected = {
+            v for v, c in core_numbers(fig3_graph).items() if c >= 2
+        }
+        departures, survivors = departure_cascade(fig3_graph, 2)
+        assert survivors == expected
+        assert set(departures) | survivors == set(fig3_graph.vertices())
+
+    def test_cascade_departure_order_valid(self, fig3_graph):
+        """At departure time each leaver has < k surviving neighbors."""
+        k = 2
+        departures, _ = departure_cascade(fig3_graph, k)
+        gone = set()
+        for v in departures:
+            alive_neighbors = sum(
+                1 for w in fig3_graph.adj[v] if w not in gone
+            )
+            assert alive_neighbors < k
+            gone.add(v)
+
+    def test_engagement_core_matches_maintainer(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        _, survivors = departure_cascade(fig3_graph, 3)
+        assert engagement_core(m, 3) == survivors
+
+    def test_engagement_strength_is_mcd(self, fig3_graph):
+        from repro.core.maintainer import compute_mcd
+
+        core = core_numbers(fig3_graph)
+        mcd = compute_mcd(fig3_graph, core)
+        for v in fig3_graph.vertices():
+            assert engagement_strength(fig3_graph, core, v) == mcd[v]
+
+    def test_fragile_vertices(self, fig3_graph):
+        core = core_numbers(fig3_graph)
+        fragile = fragile_vertices(fig3_graph, core)
+        # Chain tips (mcd == core == 1) are fragile; interior chain is not.
+        assert u(49) in fragile or u(50) in fragile
+        assert u(5) not in fragile
+
+
+class TestResilience:
+    def test_random_profile_lengths(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        profile = core_resilience_profile(m, 10, mode="random", seed=1)
+        assert profile.steps() == 10
+        assert len(profile.degeneracy) == 10
+        assert len(profile.max_core_size) == 10
+
+    def test_failures_capped_at_edge_count(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        profile = core_resilience_profile(m, 100, mode="random", seed=0)
+        assert profile.steps() == 4
+        assert m.graph.m == 0
+
+    def test_targeted_attacks_hit_dense_core_first(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph)
+        profile = core_resilience_profile(m, 5, mode="targeted")
+        for edge in profile.removed_edges:
+            # All five attacks land inside the 3-core region (v6..v13).
+            assert set(edge) <= set(range(6, 14))
+
+    def test_degeneracy_never_increases_under_removal(self, small_random_graph):
+        m = OrderedCoreMaintainer(small_random_graph)
+        profile = core_resilience_profile(m, 40, mode="random", seed=2)
+        assert profile.degeneracy == sorted(profile.degeneracy, reverse=True)
+
+    def test_unknown_mode_rejected(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        with pytest.raises(ValueError):
+            core_resilience_profile(m, 1, mode="sideways")
+
+    def test_demotions_counted(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        profile = core_resilience_profile(m, 4, mode="targeted")
+        assert profile.total_demotions >= 3

@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--datasets", "nope"])
+
+    def test_parses_hops(self):
+        args = build_parser().parse_args(["table2", "--hops", "2,4"])
+        assert args.hops == (2, 4)
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        code, out = run_cli(
+            capsys, "table1", "--datasets", "ca", "--scale", "0.15"
+        )
+        assert code == 0
+        assert "ca" in out and "paper" in out
+
+    def test_list_alias(self, capsys):
+        code, out = run_cli(
+            capsys, "list", "--datasets", "ca,google", "--scale", "0.12"
+        )
+        assert code == 0
+        assert "google" in out
+
+    def test_fig2(self, capsys):
+        code, out = run_cli(
+            capsys, "fig2", "--datasets", "ca", "--updates", "20",
+            "--scale", "0.15",
+        )
+        assert code == 0
+        assert "|V*|" in out
+
+    def test_fig9(self, capsys):
+        code, out = run_cli(
+            capsys, "fig9", "--datasets", "ca", "--updates", "15",
+            "--scale", "0.15",
+        )
+        assert code == 0
+        assert "small" in out.lower()
+
+    def test_fig10(self, capsys):
+        code, out = run_cli(
+            capsys, "fig10", "--datasets", "ca", "--updates", "15",
+            "--scale", "0.15",
+        )
+        assert code == 0
+        assert "core CDF" in out and "K CDF" in out
+
+    def test_table2_with_hops(self, capsys):
+        code, out = run_cli(
+            capsys, "table2", "--datasets", "ca", "--updates", "15",
+            "--hops", "2", "--scale", "0.15",
+        )
+        assert code == 0
+        assert "speedup" in out
+
+    def test_fig12_group_options(self, capsys):
+        code, out = run_cli(
+            capsys, "fig12", "--datasets", "ca", "--groups", "2",
+            "--group-size", "5", "--scale", "0.15",
+        )
+        assert code == 0
+        assert "group" in out
+
+    def test_ablation(self, capsys):
+        code, out = run_cli(
+            capsys, "ablation", "--datasets", "ca", "--updates", "20",
+            "--scale", "0.15",
+        )
+        assert code == 0
+        assert "scan steps" in out
+
+    def test_validate(self, capsys):
+        code, out = run_cli(
+            capsys, "validate", "--datasets", "ca", "--updates", "20",
+            "--scale", "0.15",
+        )
+        assert code == 0
+        assert "ca: ok" in out

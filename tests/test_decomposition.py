@@ -1,0 +1,123 @@
+"""Unit tests for static core decomposition and k-order generation."""
+
+import pytest
+
+from repro.core.decomposition import (
+    POLICIES,
+    core_numbers,
+    is_valid_korder,
+    korder_decomposition,
+)
+from repro.graphs.undirected import DynamicGraph
+
+from conftest import fig3_edges, random_gnm, u
+
+
+class TestCoreNumbers:
+    def test_empty_graph(self):
+        assert core_numbers(DynamicGraph()) == {}
+
+    def test_isolated_vertices_are_core_0(self):
+        g = DynamicGraph(vertices=[1, 2])
+        assert core_numbers(g) == {1: 0, 2: 0}
+
+    def test_single_edge(self):
+        assert core_numbers(DynamicGraph([(1, 2)])) == {1: 1, 2: 1}
+
+    def test_triangle_with_pendant(self, triangle_graph):
+        assert core_numbers(triangle_graph) == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_star_is_1_core(self):
+        g = DynamicGraph([(0, i) for i in range(1, 6)])
+        assert set(core_numbers(g).values()) == {1}
+
+    def test_clique_core_is_size_minus_1(self):
+        k = 6
+        g = DynamicGraph(
+            [(i, j) for i in range(k) for j in range(i + 1, k)]
+        )
+        assert set(core_numbers(g).values()) == {k - 1}
+
+    def test_paper_example_3_1(self, fig3_graph):
+        """core(v6..v13) = 3, core(v1..v5) = 2, core(u_i) = 1."""
+        core = core_numbers(fig3_graph)
+        assert all(core[i] == 3 for i in range(6, 14))
+        assert all(core[i] == 2 for i in range(1, 6))
+        assert all(core[u(i)] == 1 for i in range(50))
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = random_gnm(60, 180, seed=3)
+        nx_graph = networkx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.vertices())
+        assert core_numbers(g) == networkx.core_number(nx_graph)
+
+    def test_disconnected_components_independent(self):
+        g = DynamicGraph([(0, 1), (1, 2), (2, 0), (10, 11)])
+        core = core_numbers(g)
+        assert core[0] == 2 and core[10] == 1
+
+
+class TestKOrderDecomposition:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_order_is_valid_korder(self, policy, small_random_graph):
+        d = korder_decomposition(small_random_graph, policy=policy, seed=1)
+        assert is_valid_korder(small_random_graph, d.core, d.order)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_cores_agree_across_policies(self, policy, small_random_graph):
+        expected = core_numbers(small_random_graph)
+        d = korder_decomposition(small_random_graph, policy=policy, seed=2)
+        assert d.core == expected
+
+    def test_deg_plus_counts_later_neighbors(self, fig3_graph):
+        d = korder_decomposition(fig3_graph, policy="small")
+        position = {v: i for i, v in enumerate(d.order)}
+        for v in fig3_graph.vertices():
+            later = sum(
+                1 for w in fig3_graph.adj[v] if position[w] > position[v]
+            )
+            assert d.deg_plus[v] == later
+
+    def test_deg_plus_bounded_by_core(self, small_random_graph):
+        d = korder_decomposition(small_random_graph, policy="small")
+        assert all(d.deg_plus[v] <= d.core[v] for v in d.order)
+
+    def test_order_nondecreasing_core(self, small_random_graph):
+        d = korder_decomposition(small_random_graph, policy="large", seed=0)
+        cores_along = [d.core[v] for v in d.order]
+        assert cores_along == sorted(cores_along)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            korder_decomposition(DynamicGraph(), policy="sideways")
+
+    def test_random_policy_deterministic_with_seed(self, small_random_graph):
+        a = korder_decomposition(small_random_graph, policy="random", seed=9)
+        b = korder_decomposition(small_random_graph, policy="random", seed=9)
+        assert a.order == b.order
+
+    def test_full_fig3_order_small_policy(self):
+        """On the full Fig. 3 graph, the chain ends come first in O_1."""
+        g = DynamicGraph(fig3_edges(tail=200))
+        d = korder_decomposition(g, policy="small")
+        o1 = [v for v in d.order if d.core[v] == 1]
+        # u_0 anchors both strands; 'small deg+ first' peels it last.
+        assert o1[-1] == u(0)
+
+
+class TestIsValidKorder:
+    def test_rejects_wrong_length(self, triangle_graph):
+        core = core_numbers(triangle_graph)
+        assert not is_valid_korder(triangle_graph, core, [0, 1])
+
+    def test_rejects_core_decrease(self, triangle_graph):
+        core = core_numbers(triangle_graph)
+        assert not is_valid_korder(triangle_graph, core, [0, 1, 2, 3])
+
+    def test_rejects_deg_plus_violation(self):
+        # Path a-b-c: order [b, a, c] leaves b with 2 later neighbors > core 1.
+        g = DynamicGraph([("a", "b"), ("b", "c")])
+        core = core_numbers(g)
+        assert not is_valid_korder(g, core, ["b", "a", "c"])
+        assert is_valid_korder(g, core, ["a", "b", "c"])

@@ -1,0 +1,142 @@
+"""Unit tests for the maintained k-order index."""
+
+import random
+
+import pytest
+
+from repro.core.decomposition import core_numbers, korder_decomposition
+from repro.core.korder import KOrder
+from repro.errors import InvariantViolationError
+from repro.graphs.undirected import DynamicGraph
+
+
+@pytest.fixture
+def korder_and_graph(triangle_graph):
+    d = korder_decomposition(triangle_graph, policy="small")
+    return KOrder.from_decomposition(d, random.Random(0)), triangle_graph, d
+
+
+class TestConstruction:
+    def test_from_decomposition_order(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        assert ko.order() == d.order
+        assert len(ko) == graph.n
+
+    def test_blocks_match_cores(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        for v in graph.vertices():
+            assert ko.k_of(v) == d.core[v]
+
+    def test_deg_plus_copied(self, korder_and_graph):
+        ko, _, d = korder_and_graph
+        assert ko.deg_plus == d.deg_plus
+
+    def test_block_sizes(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        assert ko.block_sizes() == {1: 1, 2: 3}
+
+    def test_contains(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        assert 0 in ko
+        assert 99 not in ko
+
+
+class TestOrderQueries:
+    def test_precedes_cross_block(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        # vertex 3 (core 1) precedes every triangle vertex (core 2)
+        for v in (0, 1, 2):
+            assert ko.precedes(3, v)
+            assert not ko.precedes(v, 3)
+
+    def test_precedes_within_block_consistent_with_order(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        ordered = ko.order()
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                assert ko.precedes(a, b)
+                assert not ko.precedes(b, a)
+
+    def test_rank_in_block(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        block2 = list(ko.iter_block(2))
+        for i, v in enumerate(block2):
+            assert ko.rank_in_block(v) == i
+
+    def test_iter_missing_block_empty(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        assert list(ko.iter_block(7)) == []
+
+
+class TestUpdates:
+    def test_append_to_new_block(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        ko.append(5, "new")
+        assert ko.k_of("new") == 5
+        assert list(ko.iter_block(5)) == ["new"]
+        assert ko.order()[-1] == "new"
+
+    def test_prepend_chain_preserves_relative_order(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        old_block2 = list(ko.iter_block(2))
+        ko.remove(3)
+        ko.prepend_chain(2, [3])
+        assert list(ko.iter_block(2)) == [3] + old_block2
+
+    def test_remove_drops_empty_block(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        ko.remove(3)
+        assert 1 not in ko.block_sizes()
+
+    def test_forget_drops_deg_plus(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        ko.forget(3)
+        assert 3 not in ko.deg_plus
+
+    def test_move_after_repositions(self):
+        ko = KOrder(random.Random(1))
+        for v in "abcd":
+            ko.append(2, v)
+        ko.move_after("c", "a")
+        assert list(ko.iter_block(2)) == ["b", "c", "a", "d"]
+
+    def test_move_after_cross_block_rejected(self, korder_and_graph):
+        ko, _, _ = korder_and_graph
+        with pytest.raises(InvariantViolationError):
+            ko.move_after(0, 3)  # 0 in O_2, 3 in O_1
+
+
+class TestAudit:
+    def test_clean_index_passes(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        ko.audit(graph, d.core)
+
+    def test_missing_vertex_detected(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        ko.remove(3)
+        with pytest.raises(InvariantViolationError):
+            ko.audit(graph, d.core)
+
+    def test_wrong_block_detected(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        ko.remove(3)
+        ko.append(2, 3)  # vertex 3 has core 1, not 2
+        with pytest.raises(InvariantViolationError):
+            ko.audit(graph, d.core)
+
+    def test_stale_deg_plus_detected(self, korder_and_graph):
+        ko, graph, d = korder_and_graph
+        ko.deg_plus[0] += 1
+        with pytest.raises(InvariantViolationError):
+            ko.audit(graph, d.core)
+
+    def test_lemma_5_1_violation_detected(self):
+        # Path a-b-c with b forced first: deg+(b) = 2 > core 1.
+        g = DynamicGraph([("a", "b"), ("b", "c")])
+        core = core_numbers(g)
+        ko = KOrder(random.Random(2))
+        for v in ("b", "a", "c"):
+            ko.append(1, v)
+        ko.deg_plus.update({"b": 2, "a": 1, "c": 0})
+        with pytest.raises(InvariantViolationError):
+            ko.audit(g, core)

@@ -1,0 +1,138 @@
+"""Unit tests for OrderRemoval (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.core.decomposition import core_numbers
+from repro.core.maintainer import OrderedCoreMaintainer
+from repro.errors import EdgeNotFoundError
+from repro.graphs.undirected import DynamicGraph
+
+from conftest import fig3_edges, u
+
+
+class TestBasicRemovals:
+    def test_remove_pendant_edge(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph, audit=True)
+        result = m.remove_edge(2, 3)
+        assert result.changed == (3,)
+        assert result.kind == "remove"
+        assert result.delta == -1
+        assert m.core_of(3) == 0
+
+    def test_remove_triangle_edge_demotes_all(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph, audit=True)
+        result = m.remove_edge(0, 1)
+        assert set(result.changed) == {0, 1, 2}
+        assert all(m.core_of(v) == 1 for v in (0, 1, 2))
+
+    def test_remove_absent_edge_raises(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph)
+        with pytest.raises(EdgeNotFoundError):
+            m.remove_edge(0, 3)
+
+    def test_remove_between_core_levels(self, fig3_graph):
+        # v2 (core 2) - v7 (core 3): neither side changes (v2 still has
+        # two 2-core neighbors; v7's K4 is untouched).
+        m = OrderedCoreMaintainer(fig3_graph, audit=True)
+        result = m.remove_edge(2, 7)
+        assert result.changed == ()
+        assert m.core_of(2) == 2 and m.core_of(7) == 3
+
+    def test_remove_k4_edge_demotes_whole_subcore(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph, audit=True)
+        result = m.remove_edge(6, 7)
+        assert set(result.changed) == {6, 7, 8, 9}
+        assert all(m.core_of(v) == 2 for v in (6, 7, 8, 9))
+        # The other K4 is untouched.
+        assert all(m.core_of(v) == 3 for v in (10, 11, 12, 13))
+
+    def test_chain_removal_splits(self):
+        m = OrderedCoreMaintainer(DynamicGraph([(0, 1), (1, 2)]), audit=True)
+        result = m.remove_edge(0, 1)
+        assert result.changed == (0,)
+        assert m.core_of(0) == 0
+        assert m.core_of(1) == m.core_of(2) == 1
+
+    def test_insert_then_remove_roundtrip(self, fig3_graph):
+        m = OrderedCoreMaintainer(fig3_graph, audit=True)
+        before = m.core_numbers()
+        m.insert_edge(4, u(0))
+        m.remove_edge(4, u(0))
+        assert m.core_numbers() == before
+
+
+class TestVertexOperations:
+    def test_add_vertex(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph, audit=True)
+        assert m.add_vertex(99) is True
+        assert m.add_vertex(99) is False
+        assert m.core_of(99) == 0
+
+    def test_remove_vertex_as_edge_sequence(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph, audit=True)
+        results = m.remove_vertex(2)
+        assert len(results) == 3  # edges to 0, 1, 3
+        assert not m.graph.has_vertex(2)
+        assert m.core_of(0) == m.core_of(1) == 1
+        assert m.core_of(3) == 0
+        m.check()
+
+    def test_remove_then_readd_vertex(self, triangle_graph):
+        m = OrderedCoreMaintainer(triangle_graph, audit=True)
+        m.remove_vertex(3)
+        m.insert_edge(2, 3)
+        assert m.core_of(3) == 1
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_removal_streams_match_recomputation(self, seed):
+        rng = random.Random(seed)
+        n = 25
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        base = pairs[:130]
+        m = OrderedCoreMaintainer(
+            DynamicGraph(base, vertices=range(n)), audit=True
+        )
+        graph_copy = DynamicGraph(base, vertices=range(n))
+        victims = base[:]
+        rng.shuffle(victims)
+        for e in victims[:80]:
+            m.remove_edge(*e)
+            graph_copy.remove_edge(*e)
+            assert m.core_numbers() == core_numbers(graph_copy)
+
+    def test_theorem_3_1_for_removals(self, small_random_graph):
+        m = OrderedCoreMaintainer(small_random_graph, audit=True)
+        rng = random.Random(3)
+        edges = list(small_random_graph.edges())
+        rng.shuffle(edges)
+        for e in edges[:30]:
+            snapshot = m.core_numbers()
+            result = m.remove_edge(*e)
+            for v, new in m.core_numbers().items():
+                assert snapshot[v] - new in (0, 1)
+            assert all(
+                m.core_of(w) == snapshot[w] - 1 for w in result.changed
+            )
+
+    def test_changed_vertices_were_at_level_k(self, small_random_graph):
+        m = OrderedCoreMaintainer(small_random_graph, audit=True)
+        rng = random.Random(4)
+        edges = list(small_random_graph.edges())
+        rng.shuffle(edges)
+        for e in edges[:30]:
+            before = m.core_numbers()
+            result = m.remove_edge(*e)
+            for w in result.changed:
+                assert before[w] == result.k
+
+    def test_drain_graph_completely(self, small_random_graph):
+        m = OrderedCoreMaintainer(small_random_graph, audit=True)
+        for e in list(small_random_graph.edges()):
+            m.remove_edge(*e)
+        assert all(c == 0 for c in m.core_numbers().values())
+        assert m.graph.m == 0

@@ -1,0 +1,82 @@
+"""Stateful property testing: hypothesis drives a maintainer like a fuzzer.
+
+A ``RuleBasedStateMachine`` interleaves edge/vertex operations in any
+order hypothesis can dream up, continuously checking the order-based
+engine against a naive shadow and auditing the index.  This is the
+closest thing to a model checker the test-suite has; shrinking produces
+minimal failing op sequences when an invariant breaks.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers
+from repro.core.maintainer import OrderedCoreMaintainer
+from repro.graphs.undirected import DynamicGraph
+
+VERTICES = st.integers(0, 9)
+
+
+class CoreMaintenanceMachine(RuleBasedStateMachine):
+    """Random walk over the update API with a naive shadow graph."""
+
+    @initialize()
+    def setup(self):
+        self.engine = OrderedCoreMaintainer(DynamicGraph(), audit=True)
+        self.shadow = DynamicGraph()
+        self.ops = 0
+
+    @rule(u=VERTICES, v=VERTICES)
+    def insert_edge(self, u, v):
+        if u == v or self.shadow.has_edge(u, v):
+            return
+        self.engine.insert_edge(u, v)
+        self.shadow.add_edge(u, v)
+        self.ops += 1
+
+    @rule(u=VERTICES, v=VERTICES)
+    def remove_edge(self, u, v):
+        if u == v or not self.shadow.has_edge(u, v):
+            return
+        self.engine.remove_edge(u, v)
+        self.shadow.remove_edge(u, v)
+        self.ops += 1
+
+    @rule(v=VERTICES)
+    def add_vertex(self, v):
+        self.engine.add_vertex(v)
+        self.shadow.add_vertex(v)
+
+    @rule(v=VERTICES)
+    def remove_vertex(self, v):
+        if not self.shadow.has_vertex(v):
+            return
+        self.engine.remove_vertex(v)
+        self.shadow.remove_vertex(v)
+        self.ops += 1
+
+    @invariant()
+    def cores_match_shadow(self):
+        if not hasattr(self, "engine"):
+            return
+        assert self.engine.core_numbers() == core_numbers(self.shadow)
+
+    @invariant()
+    def graph_matches_shadow(self):
+        if not hasattr(self, "engine"):
+            return
+        graph = self.engine.graph
+        assert graph.n == self.shadow.n
+        assert graph.m == self.shadow.m
+
+
+CoreMaintenanceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestCoreMaintenanceMachine = CoreMaintenanceMachine.TestCase

@@ -1,0 +1,147 @@
+"""Unit tests for IndexedSet and DegreeBuckets (the peeling substrate)."""
+
+import random
+
+import pytest
+
+from repro.structures.buckets import DegreeBuckets, IndexedSet
+
+
+class TestIndexedSet:
+    def test_add_and_contains(self):
+        s = IndexedSet([1, 2])
+        assert 1 in s and 2 in s and 3 not in s
+        assert len(s) == 2
+
+    def test_add_duplicate_returns_false(self):
+        s = IndexedSet()
+        assert s.add(1) is True
+        assert s.add(1) is False
+        assert len(s) == 1
+
+    def test_discard_middle(self):
+        s = IndexedSet([1, 2, 3, 4])
+        assert s.discard(2) is True
+        assert 2 not in s
+        assert set(s) == {1, 3, 4}
+
+    def test_discard_tail(self):
+        s = IndexedSet([1, 2, 3])
+        s.discard(3)
+        assert set(s) == {1, 2}
+
+    def test_discard_absent(self):
+        s = IndexedSet([1])
+        assert s.discard(9) is False
+
+    def test_pop_any_empties(self):
+        s = IndexedSet([1, 2, 3])
+        popped = {s.pop_any() for _ in range(3)}
+        assert popped == {1, 2, 3}
+        with pytest.raises(KeyError):
+            s.pop_any()
+
+    def test_choose_uniformity(self):
+        s = IndexedSet(range(4))
+        rng = random.Random(0)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(4000):
+            counts[s.choose(rng)] += 1
+        assert all(800 < c < 1200 for c in counts.values()), counts
+
+    def test_choose_empty_raises(self):
+        with pytest.raises(KeyError):
+            IndexedSet().choose(random.Random(0))
+
+    def test_pop_random_removes(self):
+        s = IndexedSet(range(10))
+        rng = random.Random(1)
+        seen = {s.pop_random(rng) for _ in range(10)}
+        assert seen == set(range(10))
+        assert len(s) == 0
+
+    def test_iteration_after_churn(self):
+        s = IndexedSet()
+        for i in range(20):
+            s.add(i)
+        for i in range(0, 20, 3):
+            s.discard(i)
+        assert set(s) == {i for i in range(20) if i % 3 != 0}
+
+
+class TestDegreeBuckets:
+    def test_pop_min_order(self):
+        b = DegreeBuckets({"a": 2, "b": 0, "c": 1})
+        assert b.pop_min() == ("b", 0)
+        assert b.pop_min() == ("c", 1)
+        assert b.pop_min() == ("a", 2)
+        with pytest.raises(KeyError):
+            b.pop_min()
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeBuckets({"a": -1})
+
+    def test_decrease_moves_bucket(self):
+        b = DegreeBuckets({"a": 3, "b": 1})
+        assert b.decrease("a") == 2
+        assert b.degree_of("a") == 2
+        assert b.pop_min() == ("b", 1)
+        assert b.pop_min() == ("a", 2)
+
+    def test_decrease_below_zero_rejected(self):
+        b = DegreeBuckets({"a": 0})
+        with pytest.raises(ValueError):
+            b.decrease("a")
+
+    def test_decrease_resets_min_pointer(self):
+        b = DegreeBuckets({"a": 5, "b": 5})
+        first, _ = b.pop_min()  # advances the pointer to 5
+        survivor = "b" if first == "a" else "a"
+        b.decrease(survivor)
+        b.decrease(survivor)
+        assert b.pop_min() == (survivor, 3)
+
+    def test_remove(self):
+        b = DegreeBuckets({"a": 2, "b": 3})
+        assert b.remove("a") == 2
+        assert "a" not in b
+        assert len(b) == 1
+
+    def test_min_degree(self):
+        b = DegreeBuckets({"a": 4, "b": 2})
+        assert b.min_degree() == 2
+        b.remove("b")
+        assert b.min_degree() == 4
+        b.remove("a")
+        assert b.min_degree() is None
+
+    def test_pop_max_below(self):
+        b = DegreeBuckets({"a": 0, "b": 2, "c": 4})
+        assert b.pop_max_below(4) == ("b", 2)
+        assert b.pop_max_below(4) == ("a", 0)
+        assert b.pop_max_below(4) is None  # only c (degree 4) remains
+        assert b.pop_max_below(5) == ("c", 4)
+
+    def test_pop_random_below_respects_bound(self):
+        rng = random.Random(2)
+        b = DegreeBuckets({i: i % 5 for i in range(50)})
+        while True:
+            item = b.pop_random_below(3, rng)
+            if item is None:
+                break
+            assert item[1] < 3
+        # Everything with degree >= 3 must remain.
+        assert len(b) == len([i for i in range(50) if i % 5 >= 3])
+
+    def test_pop_random_below_none_when_empty_range(self):
+        b = DegreeBuckets({"a": 7})
+        assert b.pop_random_below(3, random.Random(0)) is None
+
+    def test_full_peel_matches_sorted_degrees(self):
+        degrees = {i: (i * 7) % 11 for i in range(60)}
+        b = DegreeBuckets(degrees)
+        peeled = []
+        while b:
+            peeled.append(b.pop_min()[1])
+        assert peeled == sorted(degrees.values())

@@ -1,0 +1,109 @@
+"""Unit tests for the lazy min-heap (the paper's jump structure B)."""
+
+import pytest
+
+from repro.structures.heaps import LazyMinHeap
+
+
+@pytest.fixture
+def heap():
+    h = LazyMinHeap()
+    h.push(3, "c")
+    h.push(1, "a")
+    h.push(2, "b")
+    return h
+
+
+class TestBasics:
+    def test_len_counts_live(self, heap):
+        assert len(heap) == 3
+        heap.discard("b")
+        assert len(heap) == 2
+
+    def test_bool(self):
+        h = LazyMinHeap()
+        assert not h
+        h.push(1, "x")
+        assert h
+
+    def test_contains(self, heap):
+        assert "a" in heap
+        heap.discard("a")
+        assert "a" not in heap
+
+    def test_key_of(self, heap):
+        assert heap.key_of("b") == 2
+        with pytest.raises(KeyError):
+            heap.key_of("zz")
+
+
+class TestOrdering:
+    def test_peek_returns_min(self, heap):
+        assert heap.peek() == (1, "a")
+
+    def test_peek_does_not_remove(self, heap):
+        heap.peek()
+        assert len(heap) == 3
+
+    def test_pop_in_key_order(self, heap):
+        assert [heap.pop() for _ in range(3)] == [(1, "a"), (2, "b"), (3, "c")]
+        assert heap.pop() is None
+
+    def test_peek_empty(self):
+        assert LazyMinHeap().peek() is None
+
+
+class TestLazyDiscard:
+    def test_discarded_item_skipped(self, heap):
+        heap.discard("a")
+        assert heap.peek() == (2, "b")
+
+    def test_discard_returns_whether_live(self, heap):
+        assert heap.discard("a") is True
+        assert heap.discard("a") is False
+
+    def test_discard_then_repush_same_key(self, heap):
+        heap.discard("a")
+        heap.push(1, "a")
+        assert heap.pop() == (1, "a")
+
+    def test_discard_then_repush_different_key(self, heap):
+        heap.discard("a")
+        heap.push(5, "a")
+        assert [heap.pop() for _ in range(3)] == [(2, "b"), (3, "c"), (5, "a")]
+
+    def test_push_same_key_idempotent(self, heap):
+        heap.push(1, "a")
+        heap.push(1, "a")
+        assert heap.pop() == (1, "a")
+        assert "a" not in heap
+
+    def test_rekey_live_item(self, heap):
+        heap.push(0, "c")  # re-key c from 3 to 0
+        assert heap.peek() == (0, "c")
+        assert len(heap) == 3
+
+    def test_clear(self, heap):
+        heap.clear()
+        assert len(heap) == 0
+        assert heap.peek() is None
+
+
+class TestStress:
+    def test_interleaved_ops_keep_order(self):
+        h = LazyMinHeap()
+        for i in range(100):
+            h.push(i, i)
+        for i in range(0, 100, 2):
+            h.discard(i)
+        for i in range(0, 100, 4):
+            h.push(i, i)  # revive every other discarded item
+        seen = []
+        while True:
+            item = h.pop()
+            if item is None:
+                break
+            seen.append(item[0])
+        assert seen == sorted(seen)
+        expected = set(range(1, 100, 2)) | set(range(0, 100, 4))
+        assert set(seen) == expected

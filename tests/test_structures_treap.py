@@ -1,0 +1,207 @@
+"""Unit tests for the order-statistic treap (the paper's A_k)."""
+
+import random
+
+import pytest
+
+from repro.structures.treap import OrderStatisticTreap
+
+
+@pytest.fixture
+def treap():
+    return OrderStatisticTreap("abcde", rng=random.Random(1))
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = OrderStatisticTreap()
+        assert len(t) == 0
+        assert not t
+        assert list(t) == []
+
+    def test_from_iterable_preserves_order(self, treap):
+        assert list(treap) == list("abcde")
+
+    def test_len_and_bool(self, treap):
+        assert len(treap) == 5
+        assert treap
+
+    def test_contains(self, treap):
+        assert "c" in treap
+        assert "z" not in treap
+
+    def test_to_list(self, treap):
+        assert treap.to_list() == list("abcde")
+
+    def test_duplicate_insert_rejected(self, treap):
+        with pytest.raises(ValueError):
+            treap.insert_back("a")
+
+
+class TestRank:
+    def test_rank_matches_position(self, treap):
+        for i, item in enumerate("abcde"):
+            assert treap.rank(item) == i
+
+    def test_rank_missing_raises(self, treap):
+        with pytest.raises(KeyError):
+            treap.rank("z")
+
+    def test_precedes(self, treap):
+        assert treap.precedes("a", "b")
+        assert treap.precedes("a", "e")
+        assert not treap.precedes("d", "b")
+        assert not treap.precedes("c", "c")
+
+    def test_select_inverts_rank(self, treap):
+        for i in range(5):
+            assert treap.rank(treap.select(i)) == i
+
+    def test_select_out_of_range(self, treap):
+        with pytest.raises(IndexError):
+            treap.select(5)
+        with pytest.raises(IndexError):
+            treap.select(-1)
+
+
+class TestEnds:
+    def test_first_last(self, treap):
+        assert treap.first() == "a"
+        assert treap.last() == "e"
+
+    def test_first_empty_raises(self):
+        with pytest.raises(IndexError):
+            OrderStatisticTreap().first()
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            OrderStatisticTreap().last()
+
+    def test_successor_predecessor(self, treap):
+        assert treap.successor("a") == "b"
+        assert treap.successor("e") is None
+        assert treap.predecessor("e") == "d"
+        assert treap.predecessor("a") is None
+
+
+class TestInsertionPositions:
+    def test_insert_front(self, treap):
+        treap.insert_front("x")
+        assert list(treap) == list("xabcde")
+
+    def test_insert_back(self, treap):
+        treap.insert_back("x")
+        assert list(treap) == list("abcdex")
+
+    def test_insert_after_middle(self, treap):
+        treap.insert_after("c", "x")
+        assert list(treap) == list("abcxde")
+
+    def test_insert_after_last(self, treap):
+        treap.insert_after("e", "x")
+        assert list(treap) == list("abcdex")
+
+    def test_insert_before_middle(self, treap):
+        treap.insert_before("c", "x")
+        assert list(treap) == list("abxcde")
+
+    def test_insert_before_first(self, treap):
+        treap.insert_before("a", "x")
+        assert list(treap) == list("xabcde")
+
+    def test_insert_after_missing_anchor(self, treap):
+        with pytest.raises(KeyError):
+            treap.insert_after("z", "x")
+
+    def test_extend_front_preserves_given_order(self, treap):
+        treap.extend_front(["x", "y", "z"])
+        assert list(treap) == list("xyzabcde")
+
+    def test_extend_back(self, treap):
+        treap.extend_back(["x", "y"])
+        assert list(treap) == list("abcdexy")
+
+    def test_insert_front_into_empty(self):
+        t = OrderStatisticTreap()
+        t.insert_front("a")
+        assert list(t) == ["a"]
+
+
+class TestRemoval:
+    def test_remove_middle(self, treap):
+        treap.remove("c")
+        assert list(treap) == list("abde")
+        assert "c" not in treap
+
+    def test_remove_first_and_last(self, treap):
+        treap.remove("a")
+        treap.remove("e")
+        assert list(treap) == list("bcd")
+
+    def test_remove_only_element(self):
+        t = OrderStatisticTreap(["x"])
+        t.remove("x")
+        assert len(t) == 0
+        assert list(t) == []
+
+    def test_remove_missing_raises(self, treap):
+        with pytest.raises(KeyError):
+            treap.remove("z")
+
+    def test_remove_then_reinsert(self, treap):
+        treap.remove("c")
+        treap.insert_after("b", "c")
+        assert list(treap) == list("abcde")
+
+    def test_clear(self, treap):
+        treap.clear()
+        assert len(treap) == 0
+        treap.insert_back("q")
+        assert list(treap) == ["q"]
+
+
+class TestRandomizedConsistency:
+    """The treap must behave exactly like a Python list under a random
+    op sequence, and keep its structural invariants."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_against_list_model(self, seed):
+        rng = random.Random(seed)
+        treap = OrderStatisticTreap(rng=random.Random(seed + 100))
+        model: list[int] = []
+        counter = 0
+        for _ in range(400):
+            op = rng.random()
+            if op < 0.35 or not model:
+                counter += 1
+                if model and rng.random() < 0.5:
+                    anchor = model[rng.randrange(len(model))]
+                    if rng.random() < 0.5:
+                        treap.insert_after(anchor, counter)
+                        model.insert(model.index(anchor) + 1, counter)
+                    else:
+                        treap.insert_before(anchor, counter)
+                        model.insert(model.index(anchor), counter)
+                elif rng.random() < 0.5:
+                    treap.insert_front(counter)
+                    model.insert(0, counter)
+                else:
+                    treap.insert_back(counter)
+                    model.append(counter)
+            elif op < 0.55:
+                victim = model.pop(rng.randrange(len(model)))
+                treap.remove(victim)
+            else:
+                probe = model[rng.randrange(len(model))]
+                assert treap.rank(probe) == model.index(probe)
+        assert list(treap) == model
+        treap.check_invariants()
+
+    def test_balanced_depth_statistically(self):
+        # 2^14 sequential inserts must still answer ranks; a degenerate
+        # linked-list shape would recurse/walk 16k levels and time out.
+        t = OrderStatisticTreap(range(16384), rng=random.Random(5))
+        assert t.rank(0) == 0
+        assert t.rank(16383) == 16383
+        assert t.select(8000) == 8000
+        t.check_invariants()

@@ -1,0 +1,160 @@
+"""Unit tests for the traversal baseline (mcd/pcd hierarchy + DFS/cascade)."""
+
+import random
+
+import pytest
+
+from repro.core.decomposition import core_numbers
+from repro.graphs.undirected import DynamicGraph
+from repro.traversal.degrees import (
+    DegreeHierarchy,
+    compute_mcd,
+    compute_next_level,
+)
+from repro.traversal.maintainer import TraversalCoreMaintainer
+
+from conftest import fig3_edges, u
+
+
+class TestDegreeDefinitions:
+    def test_mcd_on_fig3(self, fig3_graph):
+        core = core_numbers(fig3_graph)
+        mcd = compute_mcd(fig3_graph, core)
+        # Chain interior: two neighbors, both core 1 -> mcd 2.
+        assert mcd[u(5)] == 2
+        # Chain tips have one neighbor.
+        assert mcd[u(49)] == 1
+        # K4 member: 3 same-core neighbors (v7 also has v2 below it).
+        assert mcd[6] == 3
+
+    def test_mcd_at_least_core(self, small_random_graph):
+        core = core_numbers(small_random_graph)
+        mcd = compute_mcd(small_random_graph, core)
+        assert all(mcd[v] >= core[v] for v in small_random_graph.vertices())
+
+    def test_pcd_bounded_by_mcd(self, small_random_graph):
+        core = core_numbers(small_random_graph)
+        mcd = compute_mcd(small_random_graph, core)
+        pcd = compute_next_level(small_random_graph, core, mcd)
+        assert all(pcd[v] <= mcd[v] for v in small_random_graph.vertices())
+
+    def test_pcd_excludes_saturated_neighbors(self):
+        """pcd drops neighbors with mcd == core (the paper's Example 4.1)."""
+        # Path a-b-c-d: all core 1; the tips have mcd 1 == core.
+        g = DynamicGraph([("a", "b"), ("b", "c"), ("c", "d")])
+        core = core_numbers(g)
+        mcd = compute_mcd(g, core)
+        pcd = compute_next_level(g, core, mcd)
+        assert mcd["b"] == 2
+        assert pcd["b"] == 1  # neighbor 'a' has mcd == core == 1
+
+    def test_hierarchy_depth_validation(self, triangle_graph):
+        core = core_numbers(triangle_graph)
+        with pytest.raises(ValueError):
+            DegreeHierarchy(triangle_graph, core, depth=0)
+
+    def test_hierarchy_levels_monotone(self, small_random_graph):
+        core = core_numbers(small_random_graph)
+        h = DegreeHierarchy(small_random_graph, core, depth=4)
+        for shallow, deep in zip(h.levels, h.levels[1:]):
+            assert all(deep[v] <= shallow[v] for v in deep)
+
+    def test_refresh_counts_work(self, triangle_graph):
+        core = core_numbers(triangle_graph)
+        h = DegreeHierarchy(triangle_graph, core, depth=2)
+        triangle_graph.add_edge(3, 0)
+        work = h.refresh(core, changed_core=(), endpoints=(3, 0))
+        assert work > 0
+        h.check(core)
+
+
+class TestTraversalMaintainer:
+    def test_h_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            TraversalCoreMaintainer(triangle_graph, h=1)
+
+    def test_name_reflects_h(self, triangle_graph):
+        assert TraversalCoreMaintainer(triangle_graph, h=3).name == "trav-3"
+
+    def test_basic_insert(self, triangle_graph):
+        m = TraversalCoreMaintainer(triangle_graph, h=2, audit=True)
+        result = m.insert_edge(3, 0)
+        assert result.changed == (3,)
+        assert m.core_of(3) == 2
+
+    def test_basic_remove(self, triangle_graph):
+        m = TraversalCoreMaintainer(triangle_graph, h=2, audit=True)
+        result = m.remove_edge(0, 1)
+        assert set(result.changed) == {0, 1, 2}
+
+    def test_example_4_2_visits_whole_chain(self):
+        """The paper's headline deficiency: traversal visits ~1999 vertices
+        to conclude V* = {u0}."""
+        m = TraversalCoreMaintainer(DynamicGraph(fig3_edges(tail=2000)), h=2)
+        result = m.insert_edge(4, u(0))
+        assert result.changed == (u(0),)
+        assert result.visited > 1500
+
+    def test_higher_h_prunes_harder(self):
+        """Trav-3's deeper prune value shrinks the same search."""
+        r2 = TraversalCoreMaintainer(
+            DynamicGraph(fig3_edges(tail=400)), h=2
+        ).insert_edge(4, u(0))
+        r4 = TraversalCoreMaintainer(
+            DynamicGraph(fig3_edges(tail=400)), h=4
+        ).insert_edge(4, u(0))
+        assert r4.changed == r2.changed == (u(0),)
+        assert r4.visited <= r2.visited
+
+    def test_maintenance_work_grows_with_h(self, small_random_graph):
+        logs = {}
+        for h in (2, 4):
+            m = TraversalCoreMaintainer(small_random_graph.copy(), h=h)
+            rng = random.Random(5)
+            vertices = sorted(small_random_graph.vertices())
+            for _ in range(25):
+                a, b = rng.sample(vertices, 2)
+                if not m.graph.has_edge(a, b):
+                    m.insert_edge(a, b)
+            logs[h] = m.maintenance_work
+        assert logs[4] > logs[2]
+
+    def test_vertex_operations(self, triangle_graph):
+        m = TraversalCoreMaintainer(triangle_graph, h=2, audit=True)
+        assert m.add_vertex(50) is True
+        m.insert_edge(50, 0)
+        assert m.core_of(50) == 1
+        m.remove_vertex(50)
+        assert not m.graph.has_vertex(50)
+        m.check()
+
+    @pytest.mark.parametrize("h", [2, 3, 5])
+    def test_mixed_stream_matches_oracle(self, h):
+        rng = random.Random(h)
+        n = 22
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        base = pairs[:60]
+        m = TraversalCoreMaintainer(
+            DynamicGraph(base, vertices=range(n)), h=h, audit=True
+        )
+        shadow = DynamicGraph(base, vertices=range(n))
+        present = list(base)
+        absent = pairs[60:]
+        for _ in range(120):
+            if absent and (not present or rng.random() < 0.55):
+                e = absent.pop()
+                m.insert_edge(*e)
+                shadow.add_edge(*e)
+                present.append(e)
+            else:
+                e = present.pop(rng.randrange(len(present)))
+                m.remove_edge(*e)
+                shadow.remove_edge(*e)
+                absent.append(e)
+            assert m.core_numbers() == core_numbers(shadow)
+
+    def test_pcd_property_exposed(self, triangle_graph):
+        m = TraversalCoreMaintainer(triangle_graph, h=2)
+        assert set(m.pcd) == set(triangle_graph.vertices())
+        assert set(m.mcd) == set(triangle_graph.vertices())
