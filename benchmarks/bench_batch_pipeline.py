@@ -1,0 +1,68 @@
+"""Batch pipeline: batched vs per-edge throughput on a mixed workload.
+
+The engine-layer claim: replaying a mixed insert/remove stream through
+``apply_batch`` must never lose to the per-edge loop, and the order
+engine must do measurably fewer ``mcd`` recomputations because insertion
+runs coalesce their repair at the run boundary.  ``benchmark.extra_info``
+carries the counters so the bench log doubles as the results table.
+"""
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench.runner import build_engine, run_batches, run_mixed
+from repro.bench.workloads import mixed_batch_workload
+from repro.graphs.datasets import load_dataset
+
+BATCH_SIZE = 100
+MIX_P = 0.3
+
+
+def _workload(name="gowalla"):
+    dataset = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    return mixed_batch_workload(
+        dataset, BENCH_UPDATES, BATCH_SIZE, p=MIX_P, seed=BENCH_SEED
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["order", "trav-2", "naive"])
+def bench_batched_replay(benchmark, engine_name):
+    workload, plan, batches = _workload()
+    engine = build_engine(engine_name, workload.base_graph(), seed=BENCH_SEED)
+    results = once(benchmark, run_batches, engine, batches)
+    benchmark.extra_info["ops"] = len(plan)
+    benchmark.extra_info["batches"] = len(batches)
+    benchmark.extra_info["net_changed"] = sum(r.total_changed for r in results)
+    mcd = getattr(engine, "mcd_recomputations", None)
+    if mcd is not None:
+        benchmark.extra_info["mcd_recomputations"] = mcd
+
+
+@pytest.mark.parametrize("engine_name", ["order", "naive"])
+def bench_per_edge_replay(benchmark, engine_name):
+    workload, plan, _ = _workload()
+    engine = build_engine(engine_name, workload.base_graph(), seed=BENCH_SEED)
+    log = once(benchmark, run_mixed, engine, plan)
+    benchmark.extra_info["ops"] = len(plan)
+    mcd = getattr(engine, "mcd_recomputations", None)
+    if mcd is not None:
+        benchmark.extra_info["mcd_recomputations"] = mcd
+
+
+def bench_batched_beats_per_edge_on_mcd_repair(benchmark):
+    """The headline comparison in one bench: counters side by side."""
+    workload, plan, batches = _workload()
+
+    def run():
+        per_edge = build_engine("order", workload.base_graph(), seed=BENCH_SEED)
+        run_mixed(per_edge, plan)
+        batched = build_engine("order", workload.base_graph(), seed=BENCH_SEED)
+        run_batches(batched, batches)
+        assert per_edge.core_numbers() == batched.core_numbers()
+        return per_edge.mcd_recomputations, batched.mcd_recomputations
+
+    per_edge_mcd, batched_mcd = once(benchmark, run)
+    assert batched_mcd < per_edge_mcd
+    benchmark.extra_info["mcd_per_edge"] = per_edge_mcd
+    benchmark.extra_info["mcd_batched"] = batched_mcd
+    benchmark.extra_info["saved"] = per_edge_mcd - batched_mcd

@@ -6,16 +6,44 @@ A from-scratch Python reproduction of
     "A Fast Order-Based Approach for Core Maintenance." ICDE 2017.
 
 The library maintains the core number of every vertex of an undirected
-graph under edge (and vertex) insertions and removals.  Three engines share
-one interface:
+graph under edge (and vertex) insertions and removals.
 
-* :class:`~repro.core.maintainer.OrderedCoreMaintainer` — the paper's
-  order-based algorithm (``OrderInsert`` / ``OrderRemoval``);
-* :class:`~repro.traversal.maintainer.TraversalCoreMaintainer` — the
-  traversal baseline (Sariyüce et al.), with the multi-hop ``Trav-h``
-  enhancement;
-* :class:`~repro.naive.maintainer.NaiveCoreMaintainer` — full
-  recomputation (oracle).
+The engine layer
+----------------
+Three engines implement one interface
+(:class:`~repro.engine.base.CoreMaintainer`) and are built by name
+through the engine registry:
+
+>>> from repro import DynamicGraph, make_engine
+>>> engine = make_engine("order", DynamicGraph([(0, 1), (1, 2), (2, 0)]))
+>>> engine.core_of(0)
+2
+
+* ``"order"`` — :class:`~repro.core.maintainer.OrderedCoreMaintainer`,
+  the paper's order-based algorithm (``OrderInsert`` / ``OrderRemoval``;
+  ``order-large`` / ``order-random`` select the Section VI heuristics);
+* ``"trav-<h>"`` — :class:`~repro.traversal.maintainer.TraversalCoreMaintainer`,
+  the traversal baseline (Sariyüce et al.) with hop count ``h``;
+* ``"naive"`` — :class:`~repro.naive.maintainer.NaiveCoreMaintainer`,
+  full recomputation (oracle).
+
+New engines plug in with :func:`~repro.engine.registry.register_engine`.
+
+The batch pipeline
+------------------
+Mixed insert/remove workloads — the regime where order-based maintenance
+wins (Fig. 12) — go through :class:`~repro.engine.batch.Batch`:
+
+>>> from repro import Batch
+>>> batch = Batch.inserts([(0, 3), (1, 3)]).remove(0, 1)
+>>> result = engine.apply_batch(batch)
+>>> result.ops
+3
+
+Every engine accepts any batch; the order engine coalesces its ``mcd``
+repair per same-kind run, and the naive engine recomputes once per batch.
+:class:`~repro.engine.batch.BatchResult` aggregates net core changes,
+search-space size, per-kind op counts and wall time.
 
 Quickstart
 ----------
@@ -29,9 +57,17 @@ Quickstart
 """
 
 from repro._version import __version__
-from repro.core.base import CoreMaintainer, UpdateResult
 from repro.core.decomposition import core_numbers, korder_decomposition
 from repro.core.maintainer import OrderedCoreMaintainer
+from repro.engine import (
+    Batch,
+    BatchResult,
+    CoreMaintainer,
+    UpdateResult,
+    available_engines,
+    make_engine,
+    register_engine,
+)
 from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.temporal import TemporalEdgeStream
 from repro.graphs.undirected import DynamicGraph
@@ -40,6 +76,8 @@ from repro.streaming import SlidingWindowCoreMonitor
 from repro.traversal.maintainer import TraversalCoreMaintainer
 
 __all__ = [
+    "Batch",
+    "BatchResult",
     "CoreMaintainer",
     "DynamicGraph",
     "NaiveCoreMaintainer",
@@ -49,8 +87,11 @@ __all__ = [
     "TraversalCoreMaintainer",
     "UpdateResult",
     "__version__",
+    "available_engines",
     "core_numbers",
     "dataset_names",
     "korder_decomposition",
     "load_dataset",
+    "make_engine",
+    "register_engine",
 ]

@@ -36,11 +36,18 @@ from repro.analysis.distributions import (
 )
 from repro.analysis.metrics import UpdateLog
 from repro.analysis.subcore import order_core, pure_core, sub_core
-from repro.bench.runner import build_engine, run_mixed, run_updates, time_index_build
+from repro.bench.runner import (
+    build_engine,
+    run_batches,
+    run_mixed,
+    run_updates,
+    time_index_build,
+)
 from repro.bench.workloads import (
     grouped_stream,
     interleave_removals,
     make_workload,
+    mixed_batch_workload,
     sample_edge_fraction,
     sample_vertex_fraction,
 )
@@ -461,6 +468,80 @@ def fig12(
         group_seconds.append(log.total_seconds)
         group_changed.append(log.total_changed)
     return Fig12Result(name, p, group_seconds, group_changed)
+
+
+# ======================================================================
+# Batch pipeline — batched vs per-edge replay of a mixed stream
+# ======================================================================
+
+@dataclass
+class BatchThroughputRow:
+    """One engine's per-edge vs batched replay of the same mixed plan."""
+
+    engine: str
+    ops: int
+    per_edge_seconds: float
+    batched_seconds: float
+    mcd_per_edge: Optional[int] = None  # order engine only
+    mcd_batched: Optional[int] = None
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.per_edge_seconds / self.batched_seconds
+            if self.batched_seconds
+            else float("inf")
+        )
+
+
+@dataclass
+class BatchThroughputResult:
+    dataset: str
+    batch_size: int
+    p: float
+    rows: list[BatchThroughputRow]
+
+
+def batch_throughput(
+    name: str,
+    n_updates: int = DEFAULT_UPDATES,
+    batch_size: int = 100,
+    p: float = 0.2,
+    engines: Sequence[str] = ("order", "trav-2", "naive"),
+    scale: Optional[float] = None,
+    seed: int = 42,
+) -> BatchThroughputResult:
+    """Replay one mixed insert/remove stream per-edge and batched.
+
+    Both replays start from a fresh base graph and must end with
+    identical core numbers (asserted); for the order engine the row also
+    reports the ``mcd`` recomputation counters, the work the batched
+    path amortizes per run.
+    """
+    dataset = load_dataset(name, scale=scale, seed=seed)
+    workload, plan, batches = mixed_batch_workload(
+        dataset, n_updates, batch_size, p=p, seed=seed
+    )
+    rows = []
+    for engine_name in engines:
+        per_edge = build_engine(engine_name, workload.base_graph(), seed=seed)
+        per_edge_log = run_mixed(per_edge, plan)
+        batched = build_engine(engine_name, workload.base_graph(), seed=seed)
+        results = run_batches(batched, batches)
+        assert per_edge.core_numbers() == batched.core_numbers(), (
+            f"{engine_name}: batched replay diverged from per-edge replay"
+        )
+        rows.append(
+            BatchThroughputRow(
+                engine=engine_name,
+                ops=len(plan),
+                per_edge_seconds=per_edge_log.total_seconds,
+                batched_seconds=sum(r.seconds for r in results),
+                mcd_per_edge=getattr(per_edge, "mcd_recomputations", None),
+                mcd_batched=getattr(batched, "mcd_recomputations", None),
+            )
+        )
+    return BatchThroughputResult(name, batch_size, p, rows)
 
 
 # ======================================================================

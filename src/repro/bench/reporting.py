@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.bench.experiments import (
+    BatchThroughputResult,
     CdfResult,
     Fig5Result,
     Fig9Result,
@@ -194,4 +195,30 @@ def render_fig12(results: list[Fig12Result]) -> str:
             zip(r.group_seconds, r.group_changed)
         ):
             rows.append([r.dataset, f"{r.p:.1f}", i + 1, _fmt(sec), changed])
+    return format_table(headers, rows)
+
+
+def render_batch(results: list[BatchThroughputResult]) -> str:
+    """Batch pipeline: per-edge vs batched replay of a mixed stream."""
+    headers = [
+        "dataset", "engine", "ops", "batch", "p",
+        "per-edge s", "batched s", "speedup", "mcd/edge", "mcd/batch",
+    ]
+    rows = []
+    for result in results:
+        for row in result.rows:
+            rows.append(
+                [
+                    result.dataset,
+                    row.engine,
+                    row.ops,
+                    result.batch_size,
+                    f"{result.p:.1f}",
+                    _fmt(row.per_edge_seconds),
+                    _fmt(row.batched_seconds),
+                    f"{row.speedup:.2f}x",
+                    row.mcd_per_edge if row.mcd_per_edge is not None else "-",
+                    row.mcd_batched if row.mcd_batched is not None else "-",
+                ]
+            )
     return format_table(headers, rows)

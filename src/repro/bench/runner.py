@@ -1,4 +1,4 @@
-"""Engine factories and timed update replay."""
+"""Timed update replay (per-edge and batched) over registry engines."""
 
 from __future__ import annotations
 
@@ -6,50 +6,29 @@ import time
 from typing import Callable, Hashable, Sequence
 
 from repro.analysis.metrics import UpdateLog
-from repro.core.base import CoreMaintainer
-from repro.core.maintainer import OrderedCoreMaintainer
+from repro.engine.base import CoreMaintainer
+from repro.engine.batch import Batch, BatchResult
+from repro.engine.registry import available_engines, make_engine
 from repro.graphs.undirected import DynamicGraph
-from repro.naive.maintainer import NaiveCoreMaintainer
-from repro.traversal.maintainer import TraversalCoreMaintainer
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
 
 #: Engine names accepted by :func:`build_engine` (plus ``trav-<h>``).
-ENGINE_NAMES = (
-    "order",
-    "order-small",
-    "order-large",
-    "order-random",
-    "naive",
-    "trav-2",
-    "trav-3",
-    "trav-4",
-    "trav-5",
-    "trav-6",
-)
+#: Kept for compatibility; the authoritative list is
+#: :func:`repro.engine.registry.available_engines`.
+ENGINE_NAMES = tuple(n for n in available_engines() if n != "trav")
 
 
 def build_engine(
     name: str, graph: DynamicGraph, seed: int = 0
 ) -> CoreMaintainer:
-    """Instantiate a maintenance engine by name.
+    """Instantiate a maintenance engine by registry name.
 
-    ``order`` (alias ``order-small``), ``order-large`` and ``order-random``
-    select the k-order generation heuristic; ``trav-<h>`` selects the
-    traversal baseline with hop count ``h``; ``naive`` recomputes.
+    Thin wrapper over :func:`repro.engine.registry.make_engine`, kept so
+    existing bench call sites (and their ``seed`` convention) still work.
     """
-    if name in ("order", "order-small"):
-        return OrderedCoreMaintainer(graph, policy="small", seed=seed)
-    if name == "order-large":
-        return OrderedCoreMaintainer(graph, policy="large", seed=seed)
-    if name == "order-random":
-        return OrderedCoreMaintainer(graph, policy="random", seed=seed)
-    if name == "naive":
-        return NaiveCoreMaintainer(graph)
-    if name.startswith("trav-"):
-        return TraversalCoreMaintainer(graph, h=int(name.split("-", 1)[1]))
-    raise ValueError(f"unknown engine {name!r}; expected one of {ENGINE_NAMES}")
+    return make_engine(name, graph, seed=seed)
 
 
 def run_updates(
@@ -90,6 +69,18 @@ def run_mixed(
         result = op(u, v)
         log.record(result, clock() - started)
     return log
+
+
+def run_batches(
+    maintainer: CoreMaintainer,
+    batches: Sequence[Batch],
+) -> list[BatchResult]:
+    """Replay a sequence of batches through the engine's batch pipeline.
+
+    Each :class:`BatchResult` carries its own wall time; total replay time
+    is ``sum(r.seconds for r in results)``.
+    """
+    return [maintainer.apply_batch(batch) for batch in batches]
 
 
 def time_index_build(

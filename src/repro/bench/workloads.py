@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Sequence
 
+from repro.engine.batch import Batch
 from repro.errors import WorkloadError
 from repro.graphs.datasets import LoadedDataset
 from repro.graphs.undirected import DynamicGraph
@@ -133,6 +134,48 @@ def interleave_removals(
             removable.pop()
             plan.append(("remove", victim))
     return plan
+
+
+def batches_from_plan(
+    plan: Sequence[tuple[str, Edge]],
+    batch_size: int,
+) -> list[Batch]:
+    """Chunk an ordered op plan into :class:`Batch` objects.
+
+    Consecutive slices of at most ``batch_size`` ops become one batch
+    each, preserving op order inside a batch (the engine may reschedule
+    a conflict-free batch, but cross-batch order is fixed).
+    """
+    if batch_size < 1:
+        raise WorkloadError(f"batch size must be >= 1, got {batch_size}")
+    return [
+        Batch(plan[i : i + batch_size])
+        for i in range(0, len(plan), batch_size)
+    ]
+
+
+def mixed_batch_workload(
+    dataset: LoadedDataset,
+    n_updates: int,
+    batch_size: int,
+    p: float = 0.2,
+    seed: int = 0,
+) -> tuple[UpdateWorkload, list[tuple[str, Edge]], list[Batch]]:
+    """The Fig. 12-style mixed stream, both as a plan and as batches.
+
+    Builds the standard update workload, interleaves removals with
+    probability ``p`` (removals may target base edges, so every op is
+    valid when replayed from the base graph), and chunks the plan into
+    batches of ``batch_size`` ops.  Returns
+    ``(workload, plan, batches)`` — replaying either the plan per edge or
+    the batches through ``apply_batch`` from a fresh base graph yields
+    the same final core numbers.
+    """
+    workload = make_workload(dataset, n_updates, seed=seed)
+    plan = interleave_removals(
+        workload.base_edges, workload.update_edges, p, seed=seed
+    )
+    return workload, plan, batches_from_plan(plan, batch_size)
 
 
 def sample_vertex_fraction(

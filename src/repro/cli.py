@@ -26,6 +26,17 @@ from repro.bench import experiments, reporting
 from repro.graphs.datasets import dataset_names
 
 
+def _engine_name(value: str) -> str:
+    from repro.engine.registry import available_engines, is_engine_name
+
+    if is_engine_name(value):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown engine {value!r}; known: "
+        f"{', '.join(available_engines())} (plus any 'trav-<h>', h >= 2)"
+    )
+
+
 def _dataset_list(value: str) -> list[str]:
     names = [n.strip() for n in value.split(",") if n.strip()]
     known = set(dataset_names())
@@ -48,9 +59,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "list", "table1", "table2", "table3",
             "fig1", "fig2", "fig5", "fig9", "fig10", "fig11", "fig12",
-            "ablation", "validate", "all",
+            "ablation", "batch", "validate", "all",
         ],
         help="which table/figure (or utility) to run",
+    )
+    parser.add_argument(
+        "--engine", default="order", type=_engine_name,
+        help="engine registry name for 'batch'/'validate' "
+        "(order, order-large, order-random, naive, trav-<h>)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=100,
+        help="batch: ops per batch in the batched replay",
+    )
+    parser.add_argument(
+        "--mix", type=float, default=0.2,
+        help="batch: probability of a removal after each insertion",
     )
     parser.add_argument(
         "--datasets",
@@ -173,6 +197,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
         return 0
+    if args.experiment == "batch":
+        targets = args.datasets or ["patents", "gowalla", "ca"]
+        engines = ["order", "trav-2", "naive"]
+        if args.engine not in engines:
+            engines.append(args.engine)
+        print(reporting.render_batch([
+            experiments.batch_throughput(
+                n, args.updates, args.batch_size, p=args.mix,
+                engines=engines, **common,
+            )
+            for n in targets
+        ]))
+        return 0
     if args.experiment == "validate":
         from repro.analysis.validation import validate_maintainer
         from repro.bench.runner import build_engine, run_updates
@@ -183,7 +220,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in names:
             dataset = load_dataset(name, scale=args.scale, seed=args.seed)
             workload = make_workload(dataset, args.updates, seed=args.seed)
-            engine = build_engine("order", workload.base_graph(), seed=args.seed)
+            engine = build_engine(args.engine, workload.base_graph(), seed=args.seed)
             run_updates(engine, workload.update_edges, "insert")
             run_updates(
                 engine, list(reversed(workload.update_edges)), "remove"

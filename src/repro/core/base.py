@@ -1,153 +1,17 @@
-"""Shared interface for every core-maintenance engine.
+"""Compatibility shim: the engine interface moved to :mod:`repro.engine`.
 
-Three engines implement it:
-
-* :class:`repro.core.maintainer.OrderedCoreMaintainer` — the paper's
-  order-based algorithm;
-* :class:`repro.traversal.maintainer.TraversalCoreMaintainer` — the
-  state-of-the-art baseline (Sariyüce et al.), parameterized by hop count;
-* :class:`repro.naive.maintainer.NaiveCoreMaintainer` — recompute from
-  scratch (test oracle / lower bound).
-
-All engines take ownership of the graph passed to them: updates must go
-through the engine so its index stays consistent with the graph.
+:class:`CoreMaintainer` and :class:`UpdateResult` now live in
+:mod:`repro.engine.base` alongside the batch pipeline and the engine
+registry; import them from there (or from :mod:`repro.engine`).  This
+module re-exports them so existing ``from repro.core.base import …``
+call sites keep working unchanged.
 """
 
-from __future__ import annotations
+from repro.engine.base import (  # noqa: F401
+    CoreMaintainer,
+    Edge,
+    UpdateResult,
+    Vertex,
+)
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
-
-from repro.graphs.undirected import DynamicGraph
-
-Vertex = Hashable
-Edge = tuple[Vertex, Vertex]
-
-
-@dataclass(frozen=True)
-class UpdateResult:
-    """Outcome of one edge update.
-
-    Attributes
-    ----------
-    kind:
-        ``"insert"`` or ``"remove"``.
-    edge:
-        The edge as passed by the caller.
-    k:
-        ``K = min(core(u), core(v))`` at update time — the block the update
-        happened in (Fig. 10b plots the distribution of this value).
-    changed:
-        ``V*``: the vertices whose core number changed (by exactly 1, per
-        Theorem 3.1).
-    visited:
-        Size of the search space: ``|V+|`` for the order-based engine,
-        ``|V'|`` for the traversal engine (what Figs. 1-2 measure).
-    evicted:
-        Insertions only: number of vertices that became candidates but
-        were later disproven (Algorithm 3's cascade for the order engine,
-        eviction propagation for the traversal engine).
-    """
-
-    kind: str
-    edge: Edge
-    k: int
-    changed: tuple = field(default=())
-    visited: int = 0
-    evicted: int = 0
-
-    @property
-    def delta(self) -> int:
-        """Core-number delta applied to every vertex in ``changed``."""
-        return 1 if self.kind == "insert" else -1
-
-
-class CoreMaintainer(ABC):
-    """Abstract core-maintenance engine."""
-
-    #: Human-readable engine name, overridden by subclasses.
-    name = "abstract"
-
-    def __init__(self, graph: DynamicGraph) -> None:
-        self._graph = graph
-
-    # ------------------------------------------------------------------
-    # Read-only accessors
-    # ------------------------------------------------------------------
-
-    @property
-    def graph(self) -> DynamicGraph:
-        """The underlying graph (mutate only through the engine)."""
-        return self._graph
-
-    @property
-    @abstractmethod
-    def core(self) -> Mapping[Vertex, int]:
-        """Current core numbers; treat as read-only."""
-
-    def core_of(self, vertex: Vertex) -> int:
-        """Core number of one vertex."""
-        return self.core[vertex]
-
-    def core_numbers(self) -> dict[Vertex, int]:
-        """A snapshot copy of all core numbers."""
-        return dict(self.core)
-
-    def k_core(self, k: int) -> set[Vertex]:
-        """Vertex set of the ``k``-core (``core(v) >= k``)."""
-        return {v for v, c in self.core.items() if c >= k}
-
-    def k_shell(self, k: int) -> set[Vertex]:
-        """Vertices with core number exactly ``k``."""
-        return {v for v, c in self.core.items() if c == k}
-
-    def degeneracy(self) -> int:
-        """The largest ``k`` with a non-empty ``k``-core (max core number)."""
-        return max(self.core.values(), default=0)
-
-    # ------------------------------------------------------------------
-    # Updates
-    # ------------------------------------------------------------------
-
-    @abstractmethod
-    def insert_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
-        """Insert edge ``(u, v)`` and repair all core numbers."""
-
-    @abstractmethod
-    def remove_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
-        """Remove edge ``(u, v)`` and repair all core numbers."""
-
-    @abstractmethod
-    def add_vertex(self, vertex: Vertex) -> bool:
-        """Register an isolated vertex; returns ``False`` if present."""
-
-    def remove_vertex(self, vertex: Vertex) -> list[UpdateResult]:
-        """Remove a vertex as a sequence of edge removals (Section I).
-
-        The paper treats vertex updates as edge-update sequences; engines
-        inherit that behaviour.  Returns one result per removed edge.
-        """
-        results = [
-            self.remove_edge(vertex, w)
-            for w in list(self._graph.adj[vertex])
-        ]
-        self._graph.remove_vertex(vertex)
-        self._forget_vertex(vertex)
-        return results
-
-    def insert_edges(self, edges: Iterable[Edge]) -> list[UpdateResult]:
-        """Insert several edges one by one."""
-        return [self.insert_edge(u, v) for u, v in edges]
-
-    def remove_edges(self, edges: Iterable[Edge]) -> list[UpdateResult]:
-        """Remove several edges one by one."""
-        return [self.remove_edge(u, v) for u, v in edges]
-
-    # ------------------------------------------------------------------
-    # Hooks
-    # ------------------------------------------------------------------
-
-    @abstractmethod
-    def _forget_vertex(self, vertex: Vertex) -> None:
-        """Drop per-vertex index state after the vertex left the graph."""
+__all__ = ["CoreMaintainer", "Edge", "UpdateResult", "Vertex"]

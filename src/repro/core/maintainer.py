@@ -26,13 +26,15 @@ Example
 from __future__ import annotations
 
 import random
-from typing import Hashable, Mapping, Optional
+import time
+from typing import Hashable, Iterable, Mapping, Optional
 
-from repro.core.base import CoreMaintainer, UpdateResult
 from repro.core.decomposition import korder_decomposition
 from repro.core.insertion import order_insert
 from repro.core.korder import KOrder
 from repro.core.removal import order_remove
+from repro.engine.base import CoreMaintainer, UpdateResult
+from repro.engine.batch import Batch, BatchResult
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
 
@@ -69,6 +71,11 @@ class OrderedCoreMaintainer(CoreMaintainer):
 
     name = "order"
 
+    #: Per-vertex ``mcd`` recomputations performed by repairs — the cost
+    #: the batched path amortizes.  Class-level default so engines
+    #: restored from snapshots (which bypass ``__init__``) start at 0 too.
+    mcd_recomputations = 0
+
     def __init__(
         self,
         graph: DynamicGraph,
@@ -83,6 +90,7 @@ class OrderedCoreMaintainer(CoreMaintainer):
         self._core: dict[Vertex, int] = decomposition.core
         self.korder = KOrder.from_decomposition(decomposition, self._rng)
         self._mcd = compute_mcd(graph, self._core)
+        self.mcd_recomputations = 0
 
     # ------------------------------------------------------------------
     # Accessors
@@ -137,33 +145,94 @@ class OrderedCoreMaintainer(CoreMaintainer):
             self.check()
         return UpdateResult("remove", (u, v), k, tuple(v_star), visited)
 
-    def insert_edges_bulk(self, edges) -> list[UpdateResult]:
-        """Bulk load: insert many edges with one deferred ``mcd`` rebuild.
+    def insert_edges_bulk(self, edges: Iterable) -> list[UpdateResult]:
+        """Bulk load: thin wrapper over :meth:`apply_batch`.
 
-        ``OrderInsert`` itself never reads ``mcd`` (only ``OrderRemoval``
-        does, to seed its cascade), so a long insert-only batch can skip
-        the per-update ``mcd`` repair and recompute it once at the end —
-        an ``O(m)`` pass instead of one incremental repair per edge.
-        Per-update results (``V*``, ``|V+|``) are still returned.
-
-        Use for initial loads and large insert-only batches; interleaved
-        removals should go through :meth:`remove_edge` as usual.
+        Kept for compatibility with the original insert-only bulk API;
+        equivalent to ``apply_batch(Batch.inserts(edges)).results``.
+        Batch semantics apply: duplicate input edges are dropped rather
+        than raising, and each result's ``edge`` carries the normalized
+        orientation — so zip results with the *deduplicated* batch ops,
+        not the raw input, when inputs may repeat.
         """
+        return self.apply_batch(Batch.inserts(edges)).results
+
+    def apply_batch(self, batch: Batch) -> BatchResult:
+        """Apply a mixed batch, coalescing ``mcd`` repair per run.
+
+        ``OrderInsert`` never reads ``mcd`` (only ``OrderRemoval`` does,
+        to seed its cascade), so a run of consecutive insertions can skip
+        the per-update ``mcd`` repair entirely and do *one* targeted
+        repair at the run boundary: every vertex is recomputed at most
+        once per run however many insertions touched it.  Removal runs
+        keep the per-edge repair (the cascade consumes ``mcd`` mid-run).
+        :meth:`Batch.runs` reorders conflict-free batches into one
+        removal run followed by one insertion run, so a long mixed batch
+        pays one removal-side repair per edge plus a single coalesced
+        insertion-side repair.
+        """
+        started = time.perf_counter()
+        results: list[UpdateResult] = []
+        inserts = removes = 0
+        for kind, run_edges in batch.runs():
+            if kind == "insert":
+                results.extend(self._insert_run(run_edges))
+                inserts += len(run_edges)
+            else:
+                for u, v in run_edges:
+                    results.append(self.remove_edge(u, v))
+                removes += len(run_edges)
+        return self._finish_batch(results, inserts, removes, started)
+
+    def _insert_run(self, edges) -> list[UpdateResult]:
+        """Insert a run of edges with one coalesced ``mcd`` repair.
+
+        During the run only cores and the k-order are maintained;
+        ``old_core`` records each changed vertex's core *before* its first
+        promotion so the boundary repair can tell which neighbors' levels
+        the vertex crossed over the whole run.
+        """
+        graph, core, mcd = self._graph, self._core, self._mcd
+        endpoints: set[Vertex] = set()
+        old_core: dict[Vertex, int] = {}
         results = []
-        for u, v in edges:
-            for endpoint in (u, v):
-                if not self._graph.has_vertex(endpoint):
-                    self._graph.add_vertex(endpoint)
-                    self._register_vertex(endpoint)
-            v_star, k, visited, evicted = order_insert(
-                self._graph, self.korder, self._core, u, v
-            )
-            results.append(
-                UpdateResult(
-                    "insert", (u, v), k, tuple(v_star), visited, evicted
+        try:
+            for u, v in edges:
+                for endpoint in (u, v):
+                    if not graph.has_vertex(endpoint):
+                        graph.add_vertex(endpoint)
+                        self._register_vertex(endpoint)
+                v_star, k, visited, evicted = order_insert(
+                    graph, self.korder, core, u, v
                 )
-            )
-        self._mcd = compute_mcd(self._graph, self._core)
+                for w in v_star:
+                    # order_insert already bumped core[w]; remember the value
+                    # it had before its first promotion in this run.
+                    old_core.setdefault(w, core[w] - 1)
+                endpoints.update((u, v))
+                results.append(
+                    UpdateResult(
+                        "insert", (u, v), k, tuple(v_star), visited, evicted
+                    )
+                )
+        finally:
+            # Boundary repair: endpoints and promoted vertices from scratch
+            # (adjacency or core changed); any other neighbor z of a promoted
+            # vertex gains +1 for each neighbor whose core crossed core(z).
+            # Runs even when an op raises (e.g. EdgeExistsError) so the
+            # edges that did land leave mcd consistent.
+            recomputed = endpoints | old_core.keys()
+            for w in recomputed:
+                cw = core[w]
+                mcd[w] = sum(1 for x in graph.adj[w] if core[x] >= cw)
+            self.mcd_recomputations += len(recomputed)
+            for w, before in old_core.items():
+                after = core[w]
+                for z in graph.adj[w]:
+                    if z in recomputed:
+                        continue
+                    if before < core[z] <= after:
+                        mcd[z] += 1
         if self._audit:
             self.check()
         return results
@@ -217,6 +286,7 @@ class OrderedCoreMaintainer(CoreMaintainer):
         for w in recomputed:
             cw = core[w]
             mcd[w] = sum(1 for x in graph.adj[w] if core[x] >= cw)
+        self.mcd_recomputations += len(recomputed)
         if not changed:
             return
         delta = 1 if core[changed[0]] == crossing_level else -1

@@ -1,0 +1,36 @@
+"""The engine layer: shared interface, batch pipeline, and registry.
+
+Everything a consumer needs to maintain core numbers lives here:
+
+* :class:`~repro.engine.base.CoreMaintainer` /
+  :class:`~repro.engine.base.UpdateResult` — the engine interface and
+  per-update outcome;
+* :class:`~repro.engine.batch.Batch` /
+  :class:`~repro.engine.batch.BatchResult` — the mixed insert/remove
+  batch pipeline (`engine.apply_batch(batch)`);
+* :func:`~repro.engine.registry.make_engine` — build any engine by name
+  (``"order"``, ``"trav-<h>"``, ``"naive"``);
+  :func:`~repro.engine.registry.register_engine` plugs in new ones.
+"""
+
+from repro.engine.base import CoreMaintainer, UpdateResult
+from repro.engine.batch import Batch, BatchOp, BatchResult, normalize_edge
+from repro.engine.registry import (
+    available_engines,
+    is_engine_name,
+    make_engine,
+    register_engine,
+)
+
+__all__ = [
+    "Batch",
+    "BatchOp",
+    "BatchResult",
+    "CoreMaintainer",
+    "UpdateResult",
+    "available_engines",
+    "is_engine_name",
+    "make_engine",
+    "normalize_edge",
+    "register_engine",
+]

@@ -1,0 +1,128 @@
+"""Engine registry and factory: one way to build every maintainer.
+
+Every consumer (streaming monitor, benchmarks, CLI, applications) creates
+engines through :func:`make_engine` instead of importing concrete classes,
+so new engines (sharded, parallel, remote …) plug in with one
+:func:`register_engine` call.
+
+Names
+-----
+``order``
+    The paper's order-based engine (alias ``order-small``; also
+    ``order-large`` / ``order-random`` for the Section VI generation
+    heuristics).
+``trav-<h>``
+    The traversal baseline with hop count ``h >= 2`` (``trav`` alone means
+    ``trav-2``); any ``h`` is accepted, not just the pre-listed ones.
+``naive``
+    Full recomputation after every update (oracle / lower bound).
+
+Factories ignore a ``seed`` keyword when the engine has no randomness, so
+callers can pass a common option set to any engine name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+from repro.engine.base import CoreMaintainer
+from repro.graphs.undirected import DynamicGraph
+
+EngineFactory = Callable[..., CoreMaintainer]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+_TRAV_PATTERN = re.compile(r"^trav-(\d+)$")
+
+
+def register_engine(name: str, factory: EngineFactory, *, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` for :func:`make_engine`.
+
+    ``factory(graph, **opts)`` must return a :class:`CoreMaintainer`.
+    Re-registering an existing name requires ``overwrite=True``.
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"engine {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names (``trav-<h>`` accepts any ``h >= 2``)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_engine_name(name: str) -> bool:
+    """True when :func:`make_engine` would resolve ``name``.
+
+    The single source of truth for name validation — CLIs and configs
+    should call this instead of re-implementing the ``trav-<h>`` pattern.
+    """
+    if name in _REGISTRY:
+        return True
+    match = _TRAV_PATTERN.match(name)
+    return bool(match) and int(match.group(1)) >= 2
+
+
+def make_engine(name: str, graph: DynamicGraph, **opts) -> CoreMaintainer:
+    """Instantiate a maintenance engine by registry name.
+
+    >>> from repro.graphs.undirected import DynamicGraph
+    >>> make_engine("order", DynamicGraph([(0, 1)])).name
+    'order'
+
+    Unknown names raise ``ValueError`` listing what is available.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        match = _TRAV_PATTERN.match(name)
+        if match:
+            return _make_traversal(graph, h=int(match.group(1)), **opts)
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(available_engines())} (plus any 'trav-<h>')"
+        )
+    return factory(graph, **opts)
+
+
+# ----------------------------------------------------------------------
+# Built-in engines.  Imports happen inside the factories so the registry
+# can be imported from anywhere (including the engine base module's own
+# consumers) without circular-import ceremony.
+# ----------------------------------------------------------------------
+
+def _make_order(policy: str):
+    def factory(graph: DynamicGraph, seed=0, audit: bool = False, policy: str = policy):
+        from repro.core.maintainer import OrderedCoreMaintainer
+
+        return OrderedCoreMaintainer(graph, policy=policy, seed=seed, audit=audit)
+
+    return factory
+
+
+def _make_traversal(graph: DynamicGraph, h: int = 2, seed=None, audit: bool = False):
+    from repro.traversal.maintainer import TraversalCoreMaintainer
+
+    return TraversalCoreMaintainer(graph, h=h, audit=audit)
+
+
+def _make_naive(graph: DynamicGraph, seed=None, audit: bool = False):
+    from repro.naive.maintainer import NaiveCoreMaintainer
+
+    return NaiveCoreMaintainer(graph)
+
+
+register_engine("order", _make_order("small"))
+register_engine("order-small", _make_order("small"))
+register_engine("order-large", _make_order("large"))
+register_engine("order-random", _make_order("random"))
+def _make_traversal_at(h: int):
+    def factory(graph: DynamicGraph, seed=None, audit: bool = False):
+        return _make_traversal(graph, h=h, seed=seed, audit=audit)
+
+    return factory
+
+
+register_engine("naive", _make_naive)
+register_engine("trav", _make_traversal_at(2))
+for _h in (2, 3, 4, 5, 6):
+    register_engine(f"trav-{_h}", _make_traversal_at(_h))

@@ -60,6 +60,10 @@ class InvariantViolationError(MaintainerError, AssertionError):
     """An internal invariant audit failed (indicates a library bug)."""
 
 
+class BatchError(ReproError, ValueError):
+    """A :class:`repro.engine.batch.Batch` was constructed incorrectly."""
+
+
 class WorkloadError(ReproError, ValueError):
     """A benchmark workload was mis-specified (e.g. sampling too many edges)."""
 

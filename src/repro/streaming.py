@@ -3,22 +3,27 @@
 The paper motivates core maintenance with continuously evolving graphs;
 the canonical deployment shape is a **sliding window**: an edge is live
 for ``window`` time units after it arrives, then expires.  Every arrival
-is an ``OrderInsert``, every expiry an ``OrderRemoval`` — precisely the
-mixed workload of Fig. 12, driven by time instead of probability.
+is an insertion, every expiry a removal — precisely the mixed workload of
+Fig. 12, driven by time instead of probability.
 
-:class:`SlidingWindowCoreMonitor` wraps an engine with that lifecycle and
-exposes the live core structure plus per-event statistics.  Duplicate
-arrivals of a live edge refresh its expiry instead of inserting twice
-(multigraphs are out of k-core scope).
+:class:`SlidingWindowCoreMonitor` wraps any registered engine
+(:func:`repro.engine.make_engine`) with that lifecycle and drives both
+ticks through the batch pipeline: all edges expiring at one advance go to
+the engine as a single :class:`~repro.engine.batch.Batch`, and
+:meth:`SlidingWindowCoreMonitor.observe_many` feeds simultaneous arrivals
+the same way.  Duplicate arrivals of a live edge refresh its expiry
+instead of inserting twice (multigraphs are out of k-core scope).
 """
 
 from __future__ import annotations
 
 import collections
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Hashable, Iterable, Optional
 
-from repro.core.maintainer import OrderedCoreMaintainer
+from repro.engine.base import CoreMaintainer
+from repro.engine.batch import Batch, normalize_edge
+from repro.engine.registry import make_engine
 from repro.errors import WorkloadError
 from repro.graphs.undirected import DynamicGraph
 
@@ -27,7 +32,13 @@ Edge = tuple[Vertex, Vertex]
 
 
 def _norm(u: Vertex, v: Vertex) -> Edge:
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+    """Stable canonical orientation of a stream edge.
+
+    Delegates to :func:`repro.engine.batch.normalize_edge`: vertex
+    ordering when comparable, a ``(type name, repr)`` key otherwise —
+    never bare ``repr``, whose formatting must not decide edge identity.
+    """
+    return normalize_edge(u, v)
 
 
 @dataclass
@@ -50,17 +61,29 @@ class SlidingWindowCoreMonitor:
     window:
         Lifetime of an edge after its (re-)arrival.
     seed:
-        Seed for the underlying order-based engine.
+        Seed for engines that use randomness (ignored by the rest).
+    engine:
+        Registry name of the maintenance engine (default ``"order"``);
+        any extra keyword arguments are passed to the engine factory.
 
     Events must be fed in non-decreasing timestamp order via
-    :meth:`observe`; :meth:`advance_to` expires edges without an arrival.
+    :meth:`observe` / :meth:`observe_many`; :meth:`advance_to` expires
+    edges without an arrival.
     """
 
-    def __init__(self, window: float, seed: Optional[int] = 0) -> None:
+    def __init__(
+        self,
+        window: float,
+        seed: Optional[int] = 0,
+        engine: str = "order",
+        **engine_opts,
+    ) -> None:
         if window <= 0:
             raise WorkloadError(f"window must be positive, got {window}")
         self.window = window
-        self._engine = OrderedCoreMaintainer(DynamicGraph(), seed=seed)
+        self._engine = make_engine(
+            engine, DynamicGraph(), seed=seed, **engine_opts
+        )
         #: live edge -> expiry time
         self._expiry: dict[Edge, float] = {}
         #: expiry queue: (expiry_time, edge); stale entries skipped lazily
@@ -76,7 +99,7 @@ class SlidingWindowCoreMonitor:
         return self._now
 
     @property
-    def engine(self) -> OrderedCoreMaintainer:
+    def engine(self) -> CoreMaintainer:
         """The underlying maintainer (read-only use)."""
         return self._engine
 
@@ -104,45 +127,65 @@ class SlidingWindowCoreMonitor:
 
         Expires due edges first, then inserts (or refreshes) ``(u, v)``.
         """
+        self.observe_many([(u, v)], t)
+
+    def observe_many(self, pairs: Iterable[tuple[Vertex, Vertex]], t: float) -> None:
+        """Feed several arrivals sharing timestamp ``t`` as one batch.
+
+        Expiry of due edges and insertion of the genuinely new arrivals
+        each go through the engine's batch pipeline — one
+        ``apply_batch`` per tick, however many edges arrive.
+        """
         if t < self._now:
             raise WorkloadError(
                 f"events must be time-ordered: {t} after {self._now}"
             )
         self.advance_to(t)
-        edge = _norm(u, v)
-        if edge in self._expiry:
-            self.stats.refreshes += 1
-        else:
-            result = self._engine.insert_edge(*edge)
-            self.stats.arrivals += 1
-            self.stats.promotions += len(result.changed)
         expiry = t + self.window
-        self._expiry[edge] = expiry
-        self._queue.append((expiry, edge))
+        # Normalize (and thereby validate) every pair before committing
+        # any monitor state: a bad pair mid-list must not leave edges
+        # queued for expiry that the engine never saw.
+        edges = [_norm(u, v) for u, v in pairs]
+        fresh: list[Edge] = []
+        fresh_set: set[Edge] = set()
+        for edge in edges:
+            if edge in self._expiry or edge in fresh_set:
+                self.stats.refreshes += 1
+            else:
+                fresh.append(edge)
+                fresh_set.add(edge)
+            self._expiry[edge] = expiry
+            self._queue.append((expiry, edge))
+        if fresh:
+            result = self._engine.apply_batch(Batch.inserts(fresh))
+            self.stats.arrivals += len(fresh)
+            self.stats.promotions += result.vertex_changes
         self.stats.degeneracy_timeline.append((t, self.degeneracy()))
 
     def advance_to(self, t: float) -> int:
         """Expire every edge whose lifetime ended by time ``t``.
 
-        Returns the number of edges removed.
+        All due edges leave the engine as one removal batch.  Returns the
+        number of edges removed.
         """
         if t < self._now:
             raise WorkloadError(
                 f"cannot rewind time from {self._now} to {t}"
             )
         self._now = t
-        removed = 0
+        due: list[Edge] = []
         queue = self._queue
         while queue and queue[0][0] <= t:
             expiry, edge = queue.popleft()
             if self._expiry.get(edge) != expiry:
                 continue  # refreshed since this entry was queued
             del self._expiry[edge]
-            result = self._engine.remove_edge(*edge)
-            self.stats.expiries += 1
-            self.stats.demotions += len(result.changed)
-            removed += 1
-        return removed
+            due.append(edge)
+        if due:
+            result = self._engine.apply_batch(Batch.removes(due))
+            self.stats.expiries += len(due)
+            self.stats.demotions += result.vertex_changes
+        return len(due)
 
     def drain(self) -> int:
         """Expire everything (end of stream); returns edges removed."""

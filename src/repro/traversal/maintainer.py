@@ -13,8 +13,8 @@ from __future__ import annotations
 from collections import ChainMap
 from typing import Hashable, Mapping
 
-from repro.core.base import CoreMaintainer, UpdateResult
 from repro.core.decomposition import core_numbers
+from repro.engine.base import CoreMaintainer, UpdateResult
 from repro.graphs.undirected import DynamicGraph
 from repro.traversal.degrees import DegreeHierarchy
 from repro.traversal.insertion import traversal_insert_search

@@ -1,49 +1,17 @@
-"""Shared fixtures: the paper's running-example graphs and random graphs."""
+"""Shared fixtures: the paper's running-example graphs and random graphs.
+
+The plain helper functions (``u``, ``fig3_edges``, ``random_gnm``) live in
+``tests/helpers.py`` — import them from there, never from ``conftest``
+(see helpers.py for why).
+"""
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
 from repro.graphs.undirected import DynamicGraph
 
-# ----------------------------------------------------------------------
-# The paper's Fig. 3 graph.
-#
-# * u-part: u_0 .. u_{2000}; edges (u_0,u_1) and (u_i, u_{i+2}) — two
-#   interleaved strands anchored at u_0; every u_i has core number 1.
-# * v-part: v_1..v_5 form the unique 2-subcore (a 5-cycle here), with
-#   v_5 - u_0 attaching the chain; v_6..v_9 and v_10..v_13 form two
-#   3-subcores (K4s), v_7 - v_2 linking one of them to the 2-subcore.
-#
-# Vertex ids: v_i -> i, u_i -> U0 + i.
-# ----------------------------------------------------------------------
-
-U0 = 10_000
-
-
-def u(i: int) -> int:
-    """Vertex id of the paper's u_i."""
-    return U0 + i
-
-
-def fig3_edges(tail: int = 2000) -> list[tuple[int, int]]:
-    """Edge list of the Fig. 3 graph with a configurable u-chain length."""
-    edges = [(u(0), u(1))]
-    edges += [(u(i), u(i + 2)) for i in range(tail - 1)]
-    # 2-subcore: 5-cycle v1..v5.
-    edges += [(i, i % 5 + 1) for i in range(1, 6)]
-    edges.append((5, u(0)))  # v5 - u0
-    edges.append((2, 7))  # v2 - v7 (Example 5.1: v2's neighbors are v1,v3,v7)
-    # Two 3-subcores: K4 on v6..v9 and K4 on v10..v13.
-    for block in ([6, 7, 8, 9], [10, 11, 12, 13]):
-        edges += [
-            (block[i], block[j])
-            for i in range(4)
-            for j in range(i + 1, 4)
-        ]
-    return edges
+from helpers import fig3_edges, random_gnm
 
 
 @pytest.fixture
@@ -62,14 +30,6 @@ def fig3_graph_full() -> DynamicGraph:
 def triangle_graph() -> DynamicGraph:
     """A triangle plus a pendant vertex — the smallest interesting case."""
     return DynamicGraph([(0, 1), (1, 2), (2, 0), (2, 3)])
-
-
-def random_gnm(n: int, m: int, seed: int) -> DynamicGraph:
-    """Deterministic G(n, m) used across integration tests."""
-    rng = random.Random(seed)
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    rng.shuffle(pairs)
-    return DynamicGraph(pairs[:m], vertices=range(n))
 
 
 @pytest.fixture(params=[0, 1, 2])

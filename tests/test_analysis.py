@@ -30,7 +30,7 @@ from repro.core.korder import KOrder
 from repro.core.maintainer import compute_mcd
 from repro.graphs.undirected import DynamicGraph
 
-from conftest import u
+from helpers import u
 
 
 class TestStructuralSets:

@@ -25,7 +25,7 @@ from repro.core.maintainer import OrderedCoreMaintainer
 from repro.errors import VertexNotFoundError
 from repro.graphs.undirected import DynamicGraph
 
-from conftest import u
+from helpers import u
 
 
 class TestCommunity:

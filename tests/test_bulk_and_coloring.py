@@ -16,7 +16,7 @@ from repro.core.maintainer import OrderedCoreMaintainer
 from repro.graphs.undirected import DynamicGraph
 from repro.streaming import SlidingWindowCoreMonitor
 
-from conftest import random_gnm
+from helpers import random_gnm
 
 
 class TestBulkInsert:

@@ -99,3 +99,27 @@ class TestCommands:
         )
         assert code == 0
         assert "ca: ok" in out
+
+    def test_validate_with_engine_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "validate", "--datasets", "ca", "--updates", "10",
+            "--scale", "0.15", "--engine", "trav-2",
+        )
+        assert code == 0
+        assert "ca: ok" in out
+
+    def test_batch(self, capsys):
+        code, out = run_cli(
+            capsys, "batch", "--datasets", "ca", "--updates", "30",
+            "--scale", "0.15", "--batch-size", "10", "--mix", "0.3",
+        )
+        assert code == 0
+        assert "speedup" in out and "naive" in out and "mcd/batch" in out
+
+    def test_batch_with_extra_engine(self, capsys):
+        code, out = run_cli(
+            capsys, "batch", "--datasets", "ca", "--updates", "20",
+            "--scale", "0.15", "--engine", "order-large",
+        )
+        assert code == 0
+        assert "order-large" in out

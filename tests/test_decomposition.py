@@ -10,7 +10,7 @@ from repro.core.decomposition import (
 )
 from repro.graphs.undirected import DynamicGraph
 
-from conftest import fig3_edges, random_gnm, u
+from helpers import fig3_edges, random_gnm, u
 
 
 class TestCoreNumbers:

@@ -1,0 +1,301 @@
+"""Tests for the engine layer: registry, Batch semantics, apply_batch.
+
+Covers the acceptance criteria of the engine-layer refactor:
+
+* ``make_engine`` resolves all three engine families by name;
+* ``apply_batch`` on a mixed 500-insert/500-remove workload agrees with
+  the naive from-scratch oracle on every engine;
+* the order engine's batched path performs measurably fewer ``mcd``
+  recomputations than the same workload replayed per edge.
+"""
+
+import random
+
+import pytest
+
+from repro.core.maintainer import OrderedCoreMaintainer, compute_mcd
+from repro.core.decomposition import core_numbers
+from repro.engine import (
+    Batch,
+    BatchResult,
+    CoreMaintainer,
+    UpdateResult,
+    available_engines,
+    make_engine,
+    normalize_edge,
+    register_engine,
+)
+from repro.errors import BatchError, SelfLoopError
+from repro.graphs.undirected import DynamicGraph
+from repro.naive.maintainer import NaiveCoreMaintainer
+from repro.traversal.maintainer import TraversalCoreMaintainer
+
+from helpers import random_gnm
+
+
+def mixed_workload(n=120, base_m=2000, inserts=500, removes=500, seed=7):
+    """A base graph plus an interleaved 50/50 insert/remove plan."""
+    rng = random.Random(seed)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    rng.shuffle(pairs)
+    base = pairs[:base_m]
+    new_edges = pairs[base_m : base_m + inserts]
+    victims = rng.sample(base, removes)
+    plan = []
+    vi = ni = 0
+    for step in range(inserts + removes):
+        if step % 2 == 0 and ni < inserts:
+            plan.append(("insert", new_edges[ni]))
+            ni += 1
+        elif vi < removes:
+            plan.append(("remove", victims[vi]))
+            vi += 1
+        else:
+            plan.append(("insert", new_edges[ni]))
+            ni += 1
+    graph = lambda: DynamicGraph(base, vertices=range(n))  # noqa: E731
+    return graph, plan
+
+
+class TestRegistry:
+    def test_resolves_all_three_engine_families(self):
+        graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
+        assert isinstance(
+            make_engine("order", graph.copy()), OrderedCoreMaintainer
+        )
+        assert isinstance(
+            make_engine("trav-2", graph.copy()), TraversalCoreMaintainer
+        )
+        assert isinstance(
+            make_engine("naive", graph.copy()), NaiveCoreMaintainer
+        )
+
+    def test_order_policies_and_trav_hops(self):
+        graph = DynamicGraph([(0, 1)])
+        assert make_engine("order-large", graph.copy()).name == "order"
+        assert make_engine("trav-3", graph.copy()).h == 3
+        # Any hop count works, not just the pre-registered ones.
+        assert make_engine("trav-7", graph.copy()).h == 7
+
+    def test_common_opts_accepted_by_every_engine(self):
+        graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
+        for name in ("order", "trav-2", "naive"):
+            engine = make_engine(name, graph.copy(), seed=3)
+            assert isinstance(engine, CoreMaintainer)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine("quantum", DynamicGraph())
+
+    def test_available_engines_lists_builtins(self):
+        names = available_engines()
+        assert {"order", "naive", "trav-2"} <= set(names)
+
+    def test_register_engine_rejects_duplicates_and_accepts_new(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("order", lambda g: None)
+        register_engine(
+            "naive-alias",
+            lambda graph, seed=None: NaiveCoreMaintainer(graph),
+            overwrite=True,
+        )
+        assert isinstance(
+            make_engine("naive-alias", DynamicGraph()), NaiveCoreMaintainer
+        )
+
+    def test_core_base_shim_reexports_engine_base(self):
+        from repro.core.base import CoreMaintainer as shim_cm
+        from repro.core.base import UpdateResult as shim_ur
+
+        assert shim_cm is CoreMaintainer
+        assert shim_ur is UpdateResult
+
+
+class TestBatch:
+    def test_normalizes_and_dedupes(self):
+        batch = Batch([("insert", (2, 1)), ("insert", (1, 2))])
+        assert len(batch) == 1
+        assert batch.ops[0].edge == (1, 2)
+
+    def test_opposite_kind_sequences_are_kept(self):
+        batch = Batch.inserts([(1, 2)]).remove(1, 2).insert(1, 2)
+        assert [op.kind for op in batch] == ["insert", "remove", "insert"]
+
+    def test_rejects_bad_kind_and_self_loop(self):
+        with pytest.raises(BatchError):
+            Batch([("upsert", (1, 2))])
+        with pytest.raises(SelfLoopError):
+            Batch.inserts([(3, 3)])
+
+    def test_counts_and_edges(self):
+        batch = Batch.inserts([(1, 2), (2, 3)]).remove(4, 5)
+        assert batch.counts() == (2, 1)
+        assert batch.edges("remove") == [(4, 5)]
+
+    def test_conflict_free_batch_reorders_into_two_runs(self):
+        batch = (
+            Batch().insert(1, 2).remove(3, 4).insert(5, 6).remove(7, 8)
+        )
+        runs = batch.runs()
+        assert [kind for kind, _ in runs] == ["remove", "insert"]
+        assert runs[0][1] == [(3, 4), (7, 8)]
+        assert runs[1][1] == [(1, 2), (5, 6)]
+
+    def test_conflicting_batch_keeps_natural_order(self):
+        batch = Batch().insert(1, 2).remove(1, 2).insert(3, 4)
+        assert batch.conflicting_edges() == {(1, 2)}
+        runs = batch.runs()
+        assert [kind for kind, _ in runs] == ["insert", "remove", "insert"]
+
+    def test_normalize_edge_prefers_vertex_order_over_repr(self):
+        # repr ordering would put 10 before 2 ("10" < "2"); vertex
+        # ordering must win for comparable vertices.
+        assert normalize_edge(10, 2) == (2, 10)
+        assert normalize_edge(2, 10) == (2, 10)
+
+    def test_round_trips_through_own_ops(self):
+        original = Batch().insert(1, 2).remove(3, 4).insert(1, 2)
+        rebuilt = Batch(original.ops)
+        assert rebuilt.ops == original.ops
+
+    def test_normalize_edge_mixed_types_is_stable(self):
+        # int and str don't compare; the stable (type, repr) key decides,
+        # identically for both argument orders.
+        assert normalize_edge(1, "a") == normalize_edge("a", 1)
+        with pytest.raises(SelfLoopError):
+            normalize_edge("x", "x")
+
+
+class TestApplyBatchAgreement:
+    """Acceptance: mixed 500/500 workload, all engines vs the oracle."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return mixed_workload()
+
+    @pytest.fixture(scope="class")
+    def oracle(self, workload):
+        graph_factory, plan = workload
+        graph = graph_factory()
+        for kind, (a, b) in plan:
+            (graph.add_edge if kind == "insert" else graph.remove_edge)(a, b)
+        return core_numbers(graph)
+
+    @pytest.mark.parametrize("name", ["order", "trav-2", "naive"])
+    def test_batched_replay_matches_recompute_oracle(
+        self, name, workload, oracle
+    ):
+        graph_factory, plan = workload
+        engine = make_engine(name, graph_factory(), seed=1)
+        result = engine.apply_batch(Batch(plan))
+        assert result.inserts == 500 and result.removes == 500
+        assert engine.core_numbers() == oracle
+        # Net changes in the result must equal the oracle's view too.
+        base_core = core_numbers(graph_factory())
+        expected = {
+            v: oracle.get(v, 0) - base_core.get(v, 0)
+            for v in oracle.keys() | base_core.keys()
+            if oracle.get(v, 0) != base_core.get(v, 0)
+        }
+        assert result.changed == expected
+
+    def test_order_batched_path_repairs_mcd_and_korder(self, workload):
+        graph_factory, plan = workload
+        engine = make_engine("order", graph_factory(), seed=1, audit=True)
+        engine.apply_batch(Batch(plan))
+        engine.check()
+        assert dict(engine.mcd) == compute_mcd(engine.graph, engine.core)
+
+    def test_order_batch_does_fewer_mcd_recomputations(self, workload):
+        graph_factory, plan = workload
+        per_edge = make_engine("order", graph_factory(), seed=1)
+        for kind, (a, b) in plan:
+            op = per_edge.insert_edge if kind == "insert" else per_edge.remove_edge
+            op(a, b)
+        batched = make_engine("order", graph_factory(), seed=1)
+        batched.apply_batch(Batch(plan))
+        assert batched.core_numbers() == per_edge.core_numbers()
+        # Removal repair cannot be deferred (the cascade consumes mcd),
+        # so the amortization comes from the insertion run; on this
+        # workload that still halves the total repair work.
+        assert batched.mcd_recomputations < 0.6 * per_edge.mcd_recomputations, (
+            f"batched path should amortize mcd repair: "
+            f"{batched.mcd_recomputations} vs {per_edge.mcd_recomputations}"
+        )
+
+    def test_insert_run_amortization_is_sharp(self, workload):
+        """An insert-only batch pays ~|V| repairs instead of ~2 per edge."""
+        graph_factory, plan = workload
+        inserts = [("insert", e) for k, e in plan if k == "insert"]
+        per_edge = make_engine("order", graph_factory(), seed=1)
+        for _, (a, b) in inserts:
+            per_edge.insert_edge(a, b)
+        batched = make_engine("order", graph_factory(), seed=1)
+        batched.apply_batch(Batch(inserts))
+        assert batched.core_numbers() == per_edge.core_numbers()
+        assert batched.mcd_recomputations <= batched.graph.n
+        assert per_edge.mcd_recomputations >= 2 * len(inserts)
+
+    def test_naive_batch_recomputes_once(self, workload):
+        graph_factory, plan = workload
+        engine = make_engine("naive", graph_factory())
+        result = engine.apply_batch(Batch(plan))
+        assert engine.recomputations == 1
+        assert result.results is None
+        assert result.visited == engine.graph.n
+
+    def test_batch_registers_new_vertices(self):
+        engine = make_engine("order", DynamicGraph([(0, 1)]), audit=True)
+        result = engine.apply_batch(
+            Batch.inserts([("a", "b"), ("b", "c"), ("c", "a"), (1, "a")])
+        )
+        assert engine.core_of("a") == 2
+        assert result.inserts == 4
+
+    def test_bulk_wrapper_still_returns_per_edge_results(self):
+        engine = OrderedCoreMaintainer(DynamicGraph(), audit=True)
+        results = engine.insert_edges_bulk([(0, 1), (1, 2), (2, 0)])
+        assert [r.kind for r in results] == ["insert"] * 3
+        assert engine.core_of(0) == 2
+
+    def test_empty_batch_is_a_noop(self):
+        engine = make_engine("order", DynamicGraph([(0, 1)]))
+        result = engine.apply_batch(Batch())
+        assert result.ops == 0 and result.changed == {}
+
+    def test_order_index_stays_consistent_when_an_op_raises(self):
+        from repro.errors import EdgeExistsError
+
+        engine = make_engine("order", DynamicGraph([(0, 1), (1, 2), (2, 0)]))
+        # (0, 1) already exists: the third op raises after two landed.
+        with pytest.raises(EdgeExistsError):
+            engine.apply_batch(Batch([
+                ("insert", (0, 3)), ("insert", (3, 1)), ("insert", (0, 1)),
+            ]))
+        engine.check()  # mcd and k-order must survive the failed batch
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_naive_core_stays_consistent_when_an_op_raises(self):
+        from repro.errors import EdgeExistsError
+
+        engine = make_engine("naive", DynamicGraph([(0, 1), (1, 2), (2, 0)]))
+        with pytest.raises(EdgeExistsError):
+            engine.apply_batch(Batch([
+                ("insert", (0, 3)), ("insert", (0, 1)),
+            ]))
+        # The landed mutation is reflected; core matches the graph.
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        assert engine.core_of(3) == 1
+
+
+class TestBatchResult:
+    def test_aggregates(self):
+        engine = make_engine("order", random_gnm(20, 40, seed=4))
+        edges = [e for e in random_gnm(20, 60, seed=5).edges()
+                 if not engine.graph.has_edge(*e)][:10]
+        result = engine.apply_batch(Batch.inserts(edges))
+        assert result.ops == len(edges) == result.inserts
+        assert result.seconds >= 0.0
+        assert result.visited == sum(r.visited for r in result.results)
+        assert result.total_changed == len(result.changed)
+        assert isinstance(result, BatchResult)

@@ -23,7 +23,7 @@ from repro.graphs import io as gio
 from repro.graphs.undirected import DynamicGraph
 from repro.naive.maintainer import NaiveCoreMaintainer
 
-from conftest import random_gnm
+from helpers import random_gnm
 
 
 class TestRmat:

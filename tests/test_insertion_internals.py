@@ -134,7 +134,7 @@ class TestJumps:
     def test_case_2a_vertices_never_visited(self):
         """On the paper's chain scenario the scan must not touch the
         skipped Case-2a stretch at all (visited == 1)."""
-        from conftest import fig3_edges, u
+        from helpers import fig3_edges, u
 
         graph = DynamicGraph(fig3_edges(tail=300))
         decomposition = korder_decomposition(graph, policy="small")

@@ -6,7 +6,7 @@ from repro.core.decomposition import core_numbers
 from repro.core.maintainer import OrderedCoreMaintainer
 from repro.graphs.undirected import DynamicGraph
 
-from conftest import fig3_edges, u
+from helpers import fig3_edges, u
 
 
 def fresh_maintainer(edges, **kw):

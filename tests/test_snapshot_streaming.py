@@ -15,7 +15,7 @@ from repro.errors import StaleIndexError, WorkloadError
 from repro.graphs.undirected import DynamicGraph
 from repro.streaming import SlidingWindowCoreMonitor
 
-from conftest import random_gnm
+from helpers import random_gnm
 
 
 class TestSnapshot:

@@ -13,7 +13,7 @@ from repro.traversal.degrees import (
 )
 from repro.traversal.maintainer import TraversalCoreMaintainer
 
-from conftest import fig3_edges, u
+from helpers import fig3_edges, u
 
 
 class TestDegreeDefinitions:
