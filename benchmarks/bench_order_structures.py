@@ -1,0 +1,180 @@
+"""Microbenchmark: ``TaggedOrderList`` vs ``OrderStatisticTreap``.
+
+Two comparisons back the OM-backend claim (see ISSUE 2 / ROADMAP):
+
+* a structure-level replay of one pre-generated insert/delete/precedes
+  op tape on both backends — the OM list must at least match the treap,
+  because every ``precedes`` is a label comparison instead of two
+  O(log n) rank walks;
+* the table-2 insert workload replayed through ``order-om`` vs
+  ``order-treap`` engines — the counters prove the hot path changed:
+  the OM run answers the same ``order_queries`` with **zero**
+  ``rank_walk_steps``.
+
+``benchmark.extra_info`` carries timings and counters, so a
+``--benchmark-json`` run doubles as the results log (the suite's
+existing reporting convention).  ``REPRO_SEQ_OPS`` scales the op tape
+(CI smoke runs use a tiny value).
+"""
+
+import os
+import random
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench.runner import build_engine, run_updates
+from repro.bench.workloads import make_workload
+from repro.graphs.datasets import load_dataset
+from repro.structures.sequence import SequenceStats, TaggedOrderList
+from repro.structures.treap import OrderStatisticTreap
+
+#: Length of the structure-level op tape.
+SEQ_OPS = int(os.environ.get("REPRO_SEQ_OPS", "20000"))
+
+#: Timer-noise margin for the head-to-head timing assertion.
+TIMING_MARGIN = 1.5
+
+#: Below this tape length the replays take only milliseconds and fixed
+#: costs dominate, so the timing assertion is skipped (the deterministic
+#: counter assertions still run) — CI smoke uses REPRO_SEQ_OPS=2000.
+TIMING_ASSERT_MIN_OPS = 10000
+
+
+def _make_backend(name, stats):
+    if name == "om":
+        return TaggedOrderList(stats=stats)
+    return OrderStatisticTreap(rng=random.Random(BENCH_SEED), stats=stats)
+
+
+def _op_tape(n_ops, seed=BENCH_SEED):
+    """A reproducible insert/delete/precedes mix with concrete operands.
+
+    Generated against a plain-list mirror *outside* the benchmark clock,
+    so the replay below times only the structure under test.  The mix
+    leans on ``insert_after`` (the ``OrderInsert`` repositioning shape)
+    with scattered removals and a precedes-heavy tail, roughly matching
+    the engine's read/write ratio.
+    """
+    rng = random.Random(seed)
+    mirror = []
+    tape = []
+    next_item = 0
+    for _ in range(n_ops):
+        roll = rng.random()
+        if not mirror or roll < 0.25:
+            if not mirror or roll < 0.05:
+                tape.append(("back", next_item))
+                mirror.append(next_item)
+            else:
+                anchor = mirror[rng.randrange(len(mirror))]
+                tape.append(("after", anchor, next_item))
+                mirror.insert(mirror.index(anchor) + 1, next_item)
+            next_item += 1
+        elif roll < 0.35 and len(mirror) > 1:
+            victim = mirror.pop(rng.randrange(len(mirror)))
+            tape.append(("remove", victim))
+        else:
+            a, b = rng.sample(mirror, 2) if len(mirror) > 1 else (mirror[0], mirror[0])
+            tape.append(("precedes", a, b))
+    return tape
+
+
+def _replay(backend_name, tape):
+    stats = SequenceStats()
+    seq = _make_backend(backend_name, stats)
+    for op in tape:
+        kind = op[0]
+        if kind == "back":
+            seq.insert_back(op[1])
+        elif kind == "after":
+            seq.insert_after(op[1], op[2])
+        elif kind == "remove":
+            seq.remove(op[1])
+        else:
+            seq.precedes(op[1], op[2])
+    return seq, stats
+
+
+@pytest.mark.parametrize("backend", ["om", "treap"])
+def bench_sequence_mixed(benchmark, backend):
+    """One backend's replay of the shared mixed op tape."""
+    tape = _op_tape(SEQ_OPS)
+    seq, stats = once(benchmark, _replay, backend, tape)
+    benchmark.extra_info["ops"] = len(tape)
+    benchmark.extra_info["final_size"] = len(seq)
+    benchmark.extra_info.update(stats.as_dict())
+    seq.check_invariants()
+    if backend == "om":
+        assert stats.rank_walk_steps == 0, (
+            "the OM list must never rank-walk on this workload"
+        )
+    else:
+        assert stats.rank_walk_steps > 0
+
+
+def bench_sequence_mixed_head_to_head(benchmark):
+    """Both backends on one tape: OM must at least match the treap."""
+    tape = _op_tape(SEQ_OPS)
+
+    def run():
+        import time
+
+        t0 = time.perf_counter()
+        _, om_stats = _replay("om", tape)
+        t1 = time.perf_counter()
+        _, treap_stats = _replay("treap", tape)
+        t2 = time.perf_counter()
+        return t1 - t0, t2 - t1, om_stats, treap_stats
+
+    om_seconds, treap_seconds, om_stats, treap_stats = once(benchmark, run)
+    benchmark.extra_info["om_s"] = round(om_seconds, 4)
+    benchmark.extra_info["treap_s"] = round(treap_seconds, 4)
+    benchmark.extra_info["om_relabels"] = om_stats.relabels
+    benchmark.extra_info["treap_rank_walk_steps"] = treap_stats.rank_walk_steps
+    # Same order tests answered; only the mechanism differs.
+    assert om_stats.order_queries == treap_stats.order_queries
+    assert om_stats.rank_walk_steps == 0
+    if len(tape) >= TIMING_ASSERT_MIN_OPS:
+        assert om_seconds <= treap_seconds * TIMING_MARGIN, (
+            "TaggedOrderList must at least match the treap on the mixed tape"
+        )
+
+
+@pytest.mark.parametrize("dataset", ["gowalla", "patents"])
+def bench_table2_insert_om_vs_treap(benchmark, dataset):
+    """Table-2 insert workload, order engine under both sequence backends.
+
+    The headline counter claim: identical insertion work, but the OM run
+    spends zero pointer hops on rank walks — the treap's per-query
+    O(log n) cost is gone from the hot path.
+    """
+    data = load_dataset(dataset, scale=BENCH_SCALE, seed=BENCH_SEED)
+    workload = make_workload(data, BENCH_UPDATES, seed=BENCH_SEED)
+
+    def run():
+        import time
+
+        timings = {}
+        engines = {}
+        for name in ("order-om", "order-treap"):
+            engine = build_engine(name, workload.base_graph(), seed=BENCH_SEED)
+            t0 = time.perf_counter()
+            run_updates(engine, workload.update_edges, "insert")
+            timings[name] = time.perf_counter() - t0
+            engines[name] = engine
+        return timings, engines
+
+    timings, engines = once(benchmark, run)
+    om, treap = engines["order-om"], engines["order-treap"]
+    assert om.core_numbers() == treap.core_numbers()
+    om_stats, treap_stats = om.sequence_stats, treap.sequence_stats
+    assert om_stats.rank_walk_steps == 0, (
+        "order-om must answer every insert-path order test without ranks"
+    )
+    assert treap_stats.rank_walk_steps > 0
+    benchmark.extra_info["om_s"] = round(timings["order-om"], 3)
+    benchmark.extra_info["treap_s"] = round(timings["order-treap"], 3)
+    benchmark.extra_info["om_order_queries"] = om_stats.order_queries
+    benchmark.extra_info["om_relabels"] = om_stats.relabels
+    benchmark.extra_info["treap_rank_walk_steps"] = treap_stats.rank_walk_steps

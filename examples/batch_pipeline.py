@@ -52,6 +52,23 @@ def main() -> None:
         f"(same final core numbers)"
     )
 
+    # The order engine defaults to the OM-list sequence backend: order
+    # tests are O(1) label compares, never rank walks.  The treap backend
+    # stays selectable (sequence="treap" / engine name "order-treap").
+    stats = batched.sequence_stats
+    treap = make_engine("order-treap", workload.base_graph(), seed=13)
+    for batch in batches:
+        treap.apply_batch(batch)
+    assert treap.core_numbers() == batched.core_numbers()
+    print(
+        f"order  om backend   : {stats.order_queries} order queries, "
+        f"{stats.rank_walk_steps} rank-walk steps, {stats.relabels} relabels"
+    )
+    print(
+        f"order  treap backend: {treap.sequence_stats.order_queries} order "
+        f"queries, {treap.sequence_stats.rank_walk_steps} rank-walk steps"
+    )
+
     # The naive engine runs CoreDecomp once per *batch*, not per edge.
     naive = make_engine("naive", workload.base_graph())
     started = time.perf_counter()

@@ -21,7 +21,11 @@ through the engine registry:
 
 * ``"order"`` — :class:`~repro.core.maintainer.OrderedCoreMaintainer`,
   the paper's order-based algorithm (``OrderInsert`` / ``OrderRemoval``;
-  ``order-large`` / ``order-random`` select the Section VI heuristics);
+  ``order-large`` / ``order-random`` select the Section VI heuristics;
+  ``sequence="om" | "treap"`` — or the ``order-om`` / ``order-treap``
+  aliases — picks the k-order block backend: O(1) tagged
+  order-maintenance lists, the default, or the original
+  order-statistic treaps);
 * ``"trav-<h>"`` — :class:`~repro.traversal.maintainer.TraversalCoreMaintainer`,
   the traversal baseline (Sariyüce et al.) with hop count ``h``;
 * ``"naive"`` — :class:`~repro.naive.maintainer.NaiveCoreMaintainer`,

@@ -484,6 +484,12 @@ class BatchThroughputRow:
     batched_seconds: float
     mcd_per_edge: Optional[int] = None  # order engine only
     mcd_batched: Optional[int] = None
+    #: Sequence-backend stats of the batched replay (order engine only):
+    #: order tests answered vs pointer hops spent ranking — the OM
+    #: backend keeps ``rank_walk_steps`` at 0.
+    order_queries: Optional[int] = None
+    rank_walk_steps: Optional[int] = None
+    relabels: Optional[int] = None
 
     @property
     def speedup(self) -> float:
@@ -531,6 +537,7 @@ def batch_throughput(
         assert per_edge.core_numbers() == batched.core_numbers(), (
             f"{engine_name}: batched replay diverged from per-edge replay"
         )
+        stats = getattr(batched, "sequence_stats", None)
         rows.append(
             BatchThroughputRow(
                 engine=engine_name,
@@ -539,6 +546,9 @@ def batch_throughput(
                 batched_seconds=sum(r.seconds for r in results),
                 mcd_per_edge=getattr(per_edge, "mcd_recomputations", None),
                 mcd_batched=getattr(batched, "mcd_recomputations", None),
+                order_queries=stats.order_queries if stats else None,
+                rank_walk_steps=stats.rank_walk_steps if stats else None,
+                relabels=stats.relabels if stats else None,
             )
         )
     return BatchThroughputResult(name, batch_size, p, rows)

@@ -199,10 +199,16 @@ def render_fig12(results: list[Fig12Result]) -> str:
 
 
 def render_batch(results: list[BatchThroughputResult]) -> str:
-    """Batch pipeline: per-edge vs batched replay of a mixed stream."""
+    """Batch pipeline: per-edge vs batched replay of a mixed stream.
+
+    The last three columns carry the order engine's sequence-backend
+    stats over the batched replay: order tests answered, pointer hops
+    spent on rank walks (0 under the OM backend), and OM relabelings.
+    """
     headers = [
         "dataset", "engine", "ops", "batch", "p",
         "per-edge s", "batched s", "speedup", "mcd/edge", "mcd/batch",
+        "queries", "rank steps", "relabels",
     ]
     rows = []
     for result in results:
@@ -219,6 +225,10 @@ def render_batch(results: list[BatchThroughputResult]) -> str:
                     f"{row.speedup:.2f}x",
                     row.mcd_per_edge if row.mcd_per_edge is not None else "-",
                     row.mcd_batched if row.mcd_batched is not None else "-",
+                    row.order_queries if row.order_queries is not None else "-",
+                    row.rank_walk_steps
+                    if row.rank_walk_steps is not None else "-",
+                    row.relabels if row.relabels is not None else "-",
                 ]
             )
     return format_table(headers, rows)

@@ -66,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", default="order", type=_engine_name,
         help="engine registry name for 'batch'/'validate' "
-        "(order, order-large, order-random, naive, trav-<h>)",
+        "(order, order-om, order-treap, order-large, order-random, "
+        "naive, trav-<h>)",
     )
     parser.add_argument(
         "--batch-size", type=int, default=100,

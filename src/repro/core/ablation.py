@@ -56,7 +56,7 @@ def order_insert_scan(
     live = LazyMinHeap()
     deg_star: dict[Vertex, int] = {}
     status: dict[Vertex, int] = {}
-    orig_rank: dict[Vertex, int] = {}
+    visit_seq: dict[Vertex, int] = {}
     vc_order: list[Vertex] = []
     visited = 0
     scanned = 0
@@ -80,23 +80,25 @@ def order_insert_scan(
             continue
         visited += 1
         live.discard(vtx)
-        rank_v = block.rank(vtx)
+        key_v = block.order_key(vtx)
         if star + deg_plus[vtx] > K:
             status[vtx] = _VC
-            orig_rank[vtx] = rank_v
+            visit_seq[vtx] = visited
             vc_order.append(vtx)
             for w in graph.adj[vtx]:
-                if w in block and w not in status and block.rank(w) > rank_v:
-                    new_star = deg_star.get(w, 0) + 1
-                    deg_star[w] = new_star
-                    if new_star == 1:
-                        live.push(block.rank(w), w)
+                if w in block and w not in status:
+                    key_w = block.order_key(w)
+                    if key_w > key_v:
+                        new_star = deg_star.get(w, 0) + 1
+                        deg_star[w] = new_star
+                        if new_star == 1:
+                            live.push(key_w, w)
         else:
             deg_plus[vtx] += deg_star.pop(vtx, 0)
             status[vtx] = _SETTLED
             _remove_candidates(
-                graph, block, deg_plus, deg_star, status, orig_rank,
-                live, vtx, rank_v, K,
+                graph, block, deg_plus, deg_star, status, visit_seq,
+                live, vtx, key_v, K,
             )
         if not live:
             break

@@ -4,7 +4,7 @@ When edge ``(u, v)`` is inserted with ``u ≼ v`` and ``K = core(u)``, only
 vertices of ``O_K`` *after* ``u`` can enter ``V*`` (Lemmas 5.2/5.3), and
 only those reachable from ``u`` through forward edges (i4).  The scan walks
 ``O_K`` left to right but **jumps** directly between interesting vertices
-using the min-heap ``B`` keyed by block rank, so Case-2a ranges (vertices
+using the min-heap ``B`` keyed by block order, so Case-2a ranges (vertices
 with ``deg* = 0``) are skipped wholesale without being touched.
 
 Per visited vertex ``w`` the scan compares ``deg*(w) + deg+(w)`` to ``K``:
@@ -22,13 +22,20 @@ the new order (see the paper's rationale at the end of Section V-B).
 
 Implementation notes
 --------------------
-* Treap ranks are used both as frozen heap keys and for live ``u ≼ w``
-  tests.  Evicted candidates are repositioned *behind* the cursor, which
-  leaves the ranks of all unvisited vertices unchanged, so frozen keys stay
-  consistent with live ranks for everything the scan still cares about.
+* All order tests go through ``block.order_key`` tokens, never ``rank``:
+  with the OM-list backend a token compares in O(1) (live label lookup),
+  with the treap backend it is the frozen rank at grant time.  Both are
+  safe for the same reason: every comparison the scan makes crosses the
+  cursor (heap members and ``deg*`` recipients sit *after* it, settled
+  and untouched vertices *before* it), and Observation 6.1 repositioning
+  only moves evicted candidates to just behind the cursor, so relative
+  positions across the cursor — and hence token comparisons — never
+  change while the scan can still observe them.
 * The Algorithm 3 order test ``w' ≼ w''`` between two candidates must use
-  their *original* ranks (the evictee may already have been repositioned),
-  so each candidate records its rank at visit time.
+  their *original* positions (the evictee may already have been
+  repositioned).  Candidates are visited in original block order, so the
+  visit sequence number recorded at visit time is an exact O(1) proxy
+  for the original rank under either backend.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from typing import Hashable
 from repro.core.korder import KOrder
 from repro.graphs.undirected import DynamicGraph
 from repro.structures.heaps import LazyMinHeap
-from repro.structures.treap import OrderStatisticTreap
+from repro.structures.sequence import SequenceIndex
 
 Vertex = Hashable
 
@@ -79,11 +86,11 @@ def order_insert(
     deg_plus = korder.deg_plus
 
     heap = LazyMinHeap()
-    heap.push(block.rank(u), u)
+    heap.push(block.order_key(u), u)
 
     deg_star: dict[Vertex, int] = {}
     status: dict[Vertex, int] = {}
-    orig_rank: dict[Vertex, int] = {}
+    visit_seq: dict[Vertex, int] = {}  # candidate -> visit (= original) order
     vc_order: list[Vertex] = []  # candidates in visit (= original) order
     visited = 0
 
@@ -92,32 +99,30 @@ def order_insert(
         item = heap.pop()
         if item is None:
             break
-        rank_v, vtx = item
+        key_v, vtx = item
         visited += 1
         if deg_star.get(vtx, 0) + deg_plus[vtx] > K:
             # Case-1: vtx may reach core K+1.
             status[vtx] = _VC
-            orig_rank[vtx] = rank_v
+            visit_seq[vtx] = visited
             vc_order.append(vtx)
             for w in graph.adj[vtx]:
-                # Every core-K vertex is still physically in the O_K treap
+                # Every core-K vertex is still physically in the O_K block
                 # during the scan, so membership tests core(w) == K exactly.
-                if (
-                    w in block
-                    and w not in status
-                    and block.rank(w) > rank_v
-                ):
-                    new_star = deg_star.get(w, 0) + 1
-                    deg_star[w] = new_star
-                    if new_star == 1:
-                        heap.push(block.rank(w), w)
+                if w in block and w not in status:
+                    key_w = block.order_key(w)
+                    if key_w > key_v:
+                        new_star = deg_star.get(w, 0) + 1
+                        deg_star[w] = new_star
+                        if new_star == 1:
+                            heap.push(key_w, w)
         else:
             # Case-2b: vtx settles in place with deg+ absorbing deg*.
             deg_plus[vtx] += deg_star.pop(vtx, 0)
             status[vtx] = _SETTLED
             _remove_candidates(
-                graph, block, deg_plus, deg_star, status, orig_rank,
-                heap, vtx, rank_v, K,
+                graph, block, deg_plus, deg_star, status, visit_seq,
+                heap, vtx, key_v, K,
             )
 
     # Ending phase: VC is exactly V*.
@@ -133,14 +138,14 @@ def order_insert(
 
 def _remove_candidates(
     graph: DynamicGraph,
-    block: OrderStatisticTreap,
+    block: SequenceIndex,
     deg_plus: dict[Vertex, int],
     deg_star: dict[Vertex, int],
     status: dict[Vertex, int],
-    orig_rank: dict[Vertex, int],
+    visit_seq: dict[Vertex, int],
     heap: LazyMinHeap,
     settled: Vertex,
-    rank_cursor: int,
+    key_cursor,
     K: int,
 ) -> None:
     """Algorithm 3: cascade candidate evictions after ``settled`` settled.
@@ -149,6 +154,10 @@ def _remove_candidates(
     so each candidate neighbor loses one unit of ``deg+``; any candidate
     dropping to ``deg* + deg+ <= K`` is evicted, settles right after the
     cursor (keeping O'_K consistent), and propagates further losses.
+
+    ``key_cursor`` is the cursor's order token (``settled``'s heap key):
+    unvisited vertices still compare after it, untouched skipped ranges
+    before it, under either sequence backend.
     """
     queue: deque[Vertex] = deque()
     queued: set[Vertex] = set()
@@ -164,12 +173,13 @@ def _remove_candidates(
     while queue:
         w1 = queue.popleft()
         # Evict w1: absorb deg*, settle immediately after the anchor.
+        # move_after (not remove+reinsert) so any stale heap entry still
+        # keying on w1 keeps comparing by live position.
         deg_plus[w1] += deg_star.pop(w1, 0)
         status[w1] = _SETTLED
-        block.remove(w1)
-        block.insert_after(anchor, w1)
+        block.move_after(anchor, w1)
         anchor = w1
-        rank_w1 = orig_rank[w1]
+        seq_w1 = visit_seq[w1]
         for w2 in graph.adj[w1]:
             if core_k_mismatch(block, w2):
                 continue
@@ -177,13 +187,13 @@ def _remove_candidates(
             if st is None:
                 # Unvisited vertices sit after the cursor; untouched skipped
                 # ranges sit before it and are unaffected.
-                if block.rank(w2) > rank_cursor:
+                if block.order_key(w2) > key_cursor:
                     new_star = deg_star[w2] - 1
                     deg_star[w2] = new_star
                     if new_star == 0:
                         heap.discard(w2)
             elif st == _VC:
-                if rank_w1 < orig_rank[w2]:
+                if seq_w1 < visit_seq[w2]:
                     deg_star[w2] -= 1
                 else:
                     deg_plus[w2] -= 1
@@ -196,11 +206,11 @@ def _remove_candidates(
             # settled neighbors need no adjustment
 
 
-def core_k_mismatch(block: OrderStatisticTreap, vertex: Vertex) -> bool:
+def core_k_mismatch(block: SequenceIndex, vertex: Vertex) -> bool:
     """Whether ``vertex`` is outside the block under maintenance.
 
     During the scan every core-``K`` vertex — untouched, candidate or
-    settled — is physically present in the ``O_K`` treap, so membership is
+    settled — is physically present in the ``O_K`` block, so membership is
     the cheapest exact test for ``core(w) == K``.
     """
     return vertex not in block

@@ -1,11 +1,22 @@
 """The maintained k-order index (Section VI of the paper).
 
 A :class:`KOrder` is the concatenation ``O_0 O_1 O_2 ...`` of per-core
-blocks.  Each block is an :class:`~repro.structures.treap.OrderStatisticTreap`
-(the paper's ``A_k``), so order tests inside a block cost ``O(log |O_k|)``
-and cross-block tests are a core-number comparison.  The structure also owns
-``deg+`` (Definition 5.2): for every vertex, the number of its neighbors
-appearing *after* it in the global order.
+blocks.  Each block is a :class:`~repro.structures.sequence.SequenceIndex`
+(the paper's ``A_k``) under one of two backends selected at construction:
+
+* ``sequence="om"`` (default) — a
+  :class:`~repro.structures.sequence.TaggedOrderList`: Dietz–Sleator
+  integer labels make within-block order tests ``O(1)``;
+* ``sequence="treap"`` — the original
+  :class:`~repro.structures.treap.OrderStatisticTreap`: ``O(log |O_k|)``
+  rank walks, kept as the reference backend.
+
+Cross-block tests are a core-number comparison either way.  All blocks of
+one index share a single :class:`~repro.structures.sequence.SequenceStats`
+(``korder.stats``), so ``order_queries`` / ``relabels`` /
+``rank_walk_steps`` survive blocks being created and dropped.  The
+structure also owns ``deg+`` (Definition 5.2): for every vertex, the
+number of its neighbors appearing *after* it in the global order.
 
 Invariant (Lemma 5.1): the order is a valid k-order iff for every ``k`` and
 every ``v`` in ``O_k``, ``deg+(v) <= k``.  :meth:`KOrder.audit` verifies
@@ -21,17 +32,40 @@ from typing import Hashable, Iterable, Iterator, Optional
 from repro.core.decomposition import KOrderDecomposition
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
+from repro.structures.sequence import (
+    SequenceIndex,
+    SequenceStats,
+    TaggedOrderList,
+)
 from repro.structures.treap import OrderStatisticTreap
 
 Vertex = Hashable
+
+#: Recognized block backends.
+SEQUENCE_BACKENDS = ("om", "treap")
+
+#: Backend used when none is requested.
+DEFAULT_SEQUENCE = "om"
 
 
 class KOrder:
     """Per-core-number blocks of vertices in maintained k-order."""
 
-    def __init__(self, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        sequence: str = DEFAULT_SEQUENCE,
+    ) -> None:
+        if sequence not in SEQUENCE_BACKENDS:
+            raise ValueError(
+                f"unknown sequence backend {sequence!r}; "
+                f"choose from {', '.join(SEQUENCE_BACKENDS)}"
+            )
         self._rng = rng if rng is not None else random.Random()
-        self._blocks: dict[int, OrderStatisticTreap] = {}
+        self.sequence = sequence
+        #: Shared operation counters across all blocks, past and present.
+        self.stats = SequenceStats()
+        self._blocks: dict[int, SequenceIndex] = {}
         self._k_of: dict[Vertex, int] = {}
         #: ``deg+``: neighbors after the vertex in the global order.
         self.deg_plus: dict[Vertex, int] = {}
@@ -41,9 +75,10 @@ class KOrder:
         cls,
         decomposition: KOrderDecomposition,
         rng: Optional[random.Random] = None,
+        sequence: str = DEFAULT_SEQUENCE,
     ) -> "KOrder":
         """Build the index from a static decomposition's order."""
-        ko = cls(rng)
+        ko = cls(rng, sequence=sequence)
         for vertex in decomposition.order:
             ko.append(decomposition.core[vertex], vertex)
         ko.deg_plus.update(decomposition.deg_plus)
@@ -63,12 +98,17 @@ class KOrder:
         """The block (core number) the vertex currently lives in."""
         return self._k_of[vertex]
 
-    def block(self, k: int) -> OrderStatisticTreap:
-        """The treap of block ``O_k``, created on first access."""
-        treap = self._blocks.get(k)
-        if treap is None:
-            treap = self._blocks[k] = OrderStatisticTreap(rng=self._rng)
-        return treap
+    def block(self, k: int) -> SequenceIndex:
+        """The sequence of block ``O_k``, created on first access."""
+        seq = self._blocks.get(k)
+        if seq is None:
+            seq = self._blocks[k] = self._new_block()
+        return seq
+
+    def _new_block(self) -> SequenceIndex:
+        if self.sequence == "treap":
+            return OrderStatisticTreap(rng=self._rng, stats=self.stats)
+        return TaggedOrderList(stats=self.stats)
 
     def block_sizes(self) -> dict[int, int]:
         """Map ``k -> |O_k|`` over non-empty blocks."""
@@ -136,9 +176,7 @@ class KOrder:
                 f"move_after across blocks: {anchor!r} in O_{self._k_of[anchor]}, "
                 f"{vertex!r} in O_{k}"
             )
-        treap = self._blocks[k]
-        treap.remove(vertex)
-        treap.insert_after(anchor, vertex)
+        self._blocks[k].move_after(anchor, vertex)
 
     # ------------------------------------------------------------------
     # Audit

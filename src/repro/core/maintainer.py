@@ -31,7 +31,7 @@ from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.core.decomposition import korder_decomposition
 from repro.core.insertion import order_insert
-from repro.core.korder import KOrder
+from repro.core.korder import DEFAULT_SEQUENCE, KOrder
 from repro.core.removal import order_remove
 from repro.engine.base import CoreMaintainer, UpdateResult
 from repro.engine.batch import Batch, BatchResult
@@ -67,6 +67,11 @@ class OrderedCoreMaintainer(CoreMaintainer):
     audit:
         When true, the full index is audited after every update; meant for
         tests (it costs ``O(m log n)`` per update).
+    sequence:
+        Block backend of the k-order: ``"om"`` (default — tagged
+        order-maintenance lists, O(1) order tests) or ``"treap"`` (the
+        original order-statistic treaps, O(log n) rank walks).  Both
+        yield identical orders and cores; only the query cost differs.
     """
 
     name = "order"
@@ -82,13 +87,16 @@ class OrderedCoreMaintainer(CoreMaintainer):
         policy: str = "small",
         seed: Optional[int] = 0,
         audit: bool = False,
+        sequence: str = DEFAULT_SEQUENCE,
     ) -> None:
         super().__init__(graph)
         self._audit = audit
         self._rng = random.Random(seed)
         decomposition = korder_decomposition(graph, policy=policy, seed=seed)
         self._core: dict[Vertex, int] = decomposition.core
-        self.korder = KOrder.from_decomposition(decomposition, self._rng)
+        self.korder = KOrder.from_decomposition(
+            decomposition, self._rng, sequence=sequence
+        )
         self._mcd = compute_mcd(graph, self._core)
         self.mcd_recomputations = 0
 
@@ -104,6 +112,17 @@ class OrderedCoreMaintainer(CoreMaintainer):
     def mcd(self) -> Mapping[Vertex, int]:
         """Maintained max-core degrees (read-only)."""
         return self._mcd
+
+    @property
+    def sequence(self) -> str:
+        """The k-order's block backend (``"om"`` or ``"treap"``)."""
+        return self.korder.sequence
+
+    @property
+    def sequence_stats(self):
+        """Cumulative :class:`~repro.structures.sequence.SequenceStats`
+        of the k-order's blocks (order queries, relabels, rank walks)."""
+        return self.korder.stats
 
     def order(self) -> list[Vertex]:
         """The maintained k-order as a list."""
@@ -172,6 +191,7 @@ class OrderedCoreMaintainer(CoreMaintainer):
         insertion-side repair.
         """
         started = time.perf_counter()
+        baseline = self._batch_counters()
         results: list[UpdateResult] = []
         inserts = removes = 0
         for kind, run_edges in batch.runs():
@@ -182,7 +202,15 @@ class OrderedCoreMaintainer(CoreMaintainer):
                 for u, v in run_edges:
                     results.append(self.remove_edge(u, v))
                 removes += len(run_edges)
-        return self._finish_batch(results, inserts, removes, started)
+        return self._finish_batch(
+            results, inserts, removes, started, counter_baseline=baseline
+        )
+
+    def _batch_counters(self) -> dict[str, int]:
+        """Cumulative instrumentation (sequence stats + ``mcd`` repairs)."""
+        counters = self.korder.stats.as_dict()
+        counters["mcd_recomputations"] = self.mcd_recomputations
+        return counters
 
     def _insert_run(self, edges) -> list[UpdateResult]:
         """Insert a run of edges with one coalesced ``mcd`` repair.

@@ -91,18 +91,20 @@ def order_remove(
                 stack.append(z)
                 queued.add(z)
 
-    # Repair the k-order: move V* members to the tail of O_{K-1}.
+    # Repair the k-order: move V* members to the tail of O_{K-1}.  Order
+    # tests against w's neighbors go through order_key tokens: O(1) label
+    # compares under the OM backend, rank walks under the treap.
     if disposed:
         remaining = set(disposed)
         block = korder.block(K)
         deg_plus = korder.deg_plus
         for w in disposed:
             remaining.discard(w)
-            rank_w = block.rank(w)
+            key_w = block.order_key(w)
             new_plus = 0
             for z in graph.adj[w]:
                 cz = core[z]
-                if cz == K and block.rank(z) < rank_w:
+                if cz == K and block.order_key(z) < key_w:
                     # z stays in O_K; w jumps from after z to before it.
                     deg_plus[z] -= 1
                 if cz >= K or z in remaining:

@@ -44,6 +44,7 @@ def to_snapshot(maintainer: OrderedCoreMaintainer) -> dict:
     korder = maintainer.korder
     return {
         "version": SNAPSHOT_VERSION,
+        "sequence": korder.sequence,
         "order": order,
         "core": [maintainer.core[v] for v in order],
         "deg_plus": [korder.deg_plus[v] for v in order],
@@ -81,14 +82,20 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
     import random
 
     from repro.core.base import CoreMaintainer
-    from repro.core.korder import KOrder
+    from repro.core.korder import DEFAULT_SEQUENCE, KOrder
 
     maintainer = OrderedCoreMaintainer.__new__(OrderedCoreMaintainer)
     CoreMaintainer.__init__(maintainer, graph)
     maintainer._audit = False
     maintainer._rng = random.Random(0)
     maintainer._core = dict(zip(order, cores))
-    korder = KOrder(maintainer._rng)
+    # Pre-backend snapshots carry no "sequence" field; restore those on
+    # the current default (backend choice never affects semantics).
+    sequence = snapshot.get("sequence", DEFAULT_SEQUENCE)
+    try:
+        korder = KOrder(maintainer._rng, sequence=sequence)
+    except ValueError as exc:
+        raise StaleIndexError(str(exc)) from exc
     for vertex, core in zip(order, cores):
         korder.append(core, vertex)
     korder.deg_plus.update(zip(order, deg_plus))

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.engine.batch import Batch, BatchResult, net_changes
 from repro.graphs.undirected import DynamicGraph
@@ -171,6 +171,7 @@ class CoreMaintainer(ABC):
         schedule rather than the batch's op order).
         """
         started = time.perf_counter()
+        baseline = self._batch_counters()
         results = []
         inserts = removes = 0
         for op in batch:
@@ -180,7 +181,18 @@ class CoreMaintainer(ABC):
             else:
                 results.append(self.remove_edge(*op.edge))
                 removes += 1
-        return self._finish_batch(results, inserts, removes, started)
+        return self._finish_batch(
+            results, inserts, removes, started, counter_baseline=baseline
+        )
+
+    def _batch_counters(self) -> dict[str, int]:
+        """Cumulative instrumentation counters; engines override.
+
+        The order engine reports its sequence-backend stats
+        (``order_queries``, ``relabels``, ``rank_walk_steps``) plus
+        ``mcd_recomputations``; the default is no counters.
+        """
+        return {}
 
     def _finish_batch(
         self,
@@ -188,13 +200,22 @@ class CoreMaintainer(ABC):
         inserts: int,
         removes: int,
         started: float,
+        counter_baseline: Optional[dict] = None,
     ) -> BatchResult:
         """Aggregate per-op results into a :class:`BatchResult`.
 
         Shared by every schedule that keeps per-op attribution, so the
         aggregate definitions (net changes, visited, timing) live in one
-        place.
+        place.  ``counter_baseline`` (a :meth:`_batch_counters` snapshot
+        taken when the batch started) turns the cumulative counters into
+        per-batch deltas.
         """
+        counters = self._batch_counters()
+        if counter_baseline:
+            counters = {
+                key: value - counter_baseline.get(key, 0)
+                for key, value in counters.items()
+            }
         return BatchResult(
             engine=self.name,
             inserts=inserts,
@@ -203,6 +224,7 @@ class CoreMaintainer(ABC):
             visited=sum(r.visited for r in results),
             seconds=time.perf_counter() - started,
             results=results,
+            counters=counters,
         )
 
     # ------------------------------------------------------------------

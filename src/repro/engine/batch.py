@@ -240,6 +240,11 @@ class BatchResult:
         Per-operation :class:`~repro.engine.base.UpdateResult` detail when
         the engine's schedule can attribute changes to individual edges;
         ``None`` for fully coalesced paths (naive recompute).
+    counters:
+        Per-batch instrumentation deltas reported by the engine — for the
+        order engine: ``order_queries``, ``relabels``, ``rank_walk_steps``
+        (the sequence-backend stats) and ``mcd_recomputations``; empty for
+        engines without counters.
     """
 
     engine: str
@@ -249,6 +254,7 @@ class BatchResult:
     visited: int = 0
     seconds: float = 0.0
     results: Optional[list] = None
+    counters: dict = field(default_factory=dict)
 
     @property
     def ops(self) -> int:

@@ -10,7 +10,11 @@ Names
 ``order``
     The paper's order-based engine (alias ``order-small``; also
     ``order-large`` / ``order-random`` for the Section VI generation
-    heuristics).
+    heuristics).  All order engines accept ``sequence="om" | "treap"``
+    to pick the k-order block backend (O(1) tagged order-maintenance
+    lists vs O(log n) order-statistic treaps); ``order-om`` and
+    ``order-treap`` are aliases that pin the backend by name, for
+    CLI ``--engine`` selection.
 ``trav-<h>``
     The traversal baseline with hop count ``h >= 2`` (``trav`` alone means
     ``trav-2``); any ``h`` is accepted, not just the pre-listed ones.
@@ -90,11 +94,22 @@ def make_engine(name: str, graph: DynamicGraph, **opts) -> CoreMaintainer:
 # consumers) without circular-import ceremony.
 # ----------------------------------------------------------------------
 
-def _make_order(policy: str):
-    def factory(graph: DynamicGraph, seed=0, audit: bool = False, policy: str = policy):
+def _make_order(policy: str, sequence: str = None):
+    # sequence=None defers to the maintainer's default (korder's
+    # DEFAULT_SEQUENCE), so the default backend lives in one place.
+    def factory(
+        graph: DynamicGraph,
+        seed=0,
+        audit: bool = False,
+        policy: str = policy,
+        sequence: str = sequence,
+    ):
         from repro.core.maintainer import OrderedCoreMaintainer
 
-        return OrderedCoreMaintainer(graph, policy=policy, seed=seed, audit=audit)
+        opts = {} if sequence is None else {"sequence": sequence}
+        return OrderedCoreMaintainer(
+            graph, policy=policy, seed=seed, audit=audit, **opts
+        )
 
     return factory
 
@@ -115,6 +130,8 @@ register_engine("order", _make_order("small"))
 register_engine("order-small", _make_order("small"))
 register_engine("order-large", _make_order("large"))
 register_engine("order-random", _make_order("random"))
+register_engine("order-om", _make_order("small", sequence="om"))
+register_engine("order-treap", _make_order("small", sequence="treap"))
 def _make_traversal_at(h: int):
     def factory(graph: DynamicGraph, seed=None, audit: bool = False):
         return _make_traversal(graph, h=h, seed=seed, audit=audit)

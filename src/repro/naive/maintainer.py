@@ -102,7 +102,11 @@ class NaiveCoreMaintainer(CoreMaintainer):
             visited=graph.n,
             seconds=time.perf_counter() - started,
             results=None,
+            counters={"recomputations": 1},
         )
+
+    def _batch_counters(self) -> dict[str, int]:
+        return {"recomputations": self.recomputations}
 
     def _recompute(self, kind: str, edge: tuple, k: int) -> UpdateResult:
         new_core = core_numbers(self._graph)

@@ -1,12 +1,20 @@
 """Low-level data structures used by the core-maintenance engines.
 
-The paper's index (Section VI) is built from three structures, all of which
-are implemented here from scratch:
+The paper's index (Section VI) is built from these structures, all of
+which are implemented here from scratch:
 
-* :class:`~repro.structures.treap.OrderStatisticTreap` — the per-``k``
-  order-statistic tree ``A_k`` that answers "does ``u`` precede ``v``?" in
-  ``O(log |O_k|)`` via rank queries, and supports positional insertion and
-  deletion.
+* :class:`~repro.structures.sequence.SequenceIndex` — the protocol of a
+  k-order block backend (the paper's ``A_k``), with two implementations:
+
+  - :class:`~repro.structures.sequence.TaggedOrderList` — a Dietz–Sleator
+    order-maintenance list (integer labels, Bender-style relabeling) that
+    answers "does ``u`` precede ``v``?" in ``O(1)``;
+  - :class:`~repro.structures.treap.OrderStatisticTreap` — the
+    order-statistic tree of the original design, ``O(log |O_k|)`` rank
+    queries, kept as the reference backend and for rank-heavy diagnostics.
+
+  Both are instrumented through
+  :class:`~repro.structures.sequence.SequenceStats`.
 * :class:`~repro.structures.heaps.LazyMinHeap` — the jump heap ``B`` used by
   ``OrderInsert`` to skip over vertices that can be proven irrelevant.
 * :class:`~repro.structures.buckets.DegreeBuckets` /
@@ -17,6 +25,11 @@ are implemented here from scratch:
 
 from repro.structures.buckets import DegreeBuckets, IndexedSet
 from repro.structures.heaps import LazyMinHeap
+from repro.structures.sequence import (
+    SequenceIndex,
+    SequenceStats,
+    TaggedOrderList,
+)
 from repro.structures.treap import OrderStatisticTreap
 
 __all__ = [
@@ -24,4 +37,7 @@ __all__ = [
     "IndexedSet",
     "LazyMinHeap",
     "OrderStatisticTreap",
+    "SequenceIndex",
+    "SequenceStats",
+    "TaggedOrderList",
 ]

@@ -31,6 +31,8 @@ from __future__ import annotations
 import random
 from typing import Any, Hashable, Iterable, Iterator, Optional
 
+from repro.structures.sequence import SequenceStats
+
 
 class _Node:
     """A treap node; one per stored item."""
@@ -64,14 +66,20 @@ class OrderStatisticTreap:
     rng:
         Source of node priorities.  Supplying a seeded ``random.Random``
         makes the structure (and everything built on it) deterministic.
+    stats:
+        Shared :class:`~repro.structures.sequence.SequenceStats` counters
+        (``order_queries``, ``rank_walk_steps``); a private instance is
+        created when omitted.
     """
 
     def __init__(
         self,
         items: Iterable[Hashable] = (),
         rng: Optional[random.Random] = None,
+        stats: Optional[SequenceStats] = None,
     ) -> None:
         self._rng = rng if rng is not None else random.Random()
+        self.stats = stats if stats is not None else SequenceStats()
         self._root: Optional[_Node] = None
         self._nodes: dict[Hashable, _Node] = {}
         for item in items:
@@ -116,20 +124,39 @@ class OrderStatisticTreap:
     def rank(self, item: Hashable) -> int:
         """0-based position of ``item``; ``O(log n)`` by walking to the root.
 
-        Raises :class:`KeyError` if the item is not stored.
+        Raises :class:`KeyError` if the item is not stored.  Walk length
+        is charged to ``stats.rank_walk_steps`` — the per-query cost the
+        OM backend replaces with a label comparison.
         """
         node = self._nodes[item]
         r = _size(node.left)
+        steps = 0
         while node.parent is not None:
             parent = node.parent
             if parent.right is node:
                 r += _size(parent.left) + 1
             node = parent
+            steps += 1
+        self.stats.rank_walk_steps += steps
         return r
 
     def precedes(self, a: Hashable, b: Hashable) -> bool:
         """``True`` iff ``a`` appears strictly before ``b`` in the sequence."""
+        self.stats.order_queries += 1
         return self.rank(a) < self.rank(b)
+
+    def order_key(self, item: Hashable) -> int:
+        """The item's current rank as a frozen comparable token.
+
+        Treap order keys are plain ranks: cheap to compare but O(log n)
+        to produce, and they go stale if items *before* ``item`` are
+        inserted or removed.  ``OrderInsert`` only ever compares tokens
+        across the scan cursor, where relative positions are stable, so
+        frozen ranks are safe there (see ``repro.core.insertion``); the
+        OM backend's tokens are live and never go stale.
+        """
+        self.stats.order_queries += 1
+        return self.rank(item)
 
     def select(self, index: int) -> Any:
         """The item at 0-based position ``index``.
@@ -274,6 +301,20 @@ class OrderStatisticTreap:
             else:
                 self.insert_after(previous, item)
             previous = item
+
+    def move_after(self, anchor_item: Hashable, item: Hashable) -> None:
+        """Relocate ``item`` to immediately after ``anchor_item``.
+
+        Remove-then-reinsert: treap order keys are frozen rank *values*
+        (not node references), so unlike the OM list no node identity
+        needs preserving — the scan's cross-cursor comparisons stay valid
+        because a backward move never changes the rank of any vertex
+        after the cursor.
+        """
+        if anchor_item == item:
+            raise ValueError(f"cannot move {item!r} after itself")
+        self.remove(item)
+        self.insert_after(anchor_item, item)
 
     def remove(self, item: Hashable) -> None:
         """Remove ``item`` from the sequence.

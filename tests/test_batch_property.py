@@ -17,7 +17,10 @@ from repro.core.decomposition import core_numbers
 from repro.engine import Batch, make_engine
 from repro.graphs.undirected import DynamicGraph
 
-ENGINES = ("order", "trav-2", "naive")
+# "order" is the OM-list-backed engine (the default); "order-treap" runs
+# the same algorithm over the treap sequence backend, so the whole
+# agreement suite covers both.
+ENGINES = ("order", "order-treap", "trav-2", "naive")
 
 
 def random_batch_stream(seed, n_batches=6, batch_size=25, universe=60):
@@ -71,7 +74,7 @@ def test_engines_agree_after_each_mixed_batch(seed):
             name,
             DynamicGraph(base),
             seed=seed,
-            **({"audit": True} if name == "order" else {}),
+            **({"audit": True} if name.startswith("order") else {}),
         )
         for name in ENGINES
     }

@@ -110,6 +110,17 @@ class TestRegistry:
         assert shim_cm is CoreMaintainer
         assert shim_ur is UpdateResult
 
+    def test_sequence_backend_selection(self):
+        graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
+        assert make_engine("order", graph.copy()).sequence == "om"
+        assert make_engine(
+            "order", graph.copy(), sequence="treap"
+        ).sequence == "treap"
+        assert make_engine("order-om", graph.copy()).sequence == "om"
+        assert make_engine("order-treap", graph.copy()).sequence == "treap"
+        with pytest.raises(ValueError, match="sequence backend"):
+            make_engine("order", graph.copy(), sequence="skiplist")
+
 
 class TestBatch:
     def test_normalizes_and_dedupes(self):
@@ -299,3 +310,41 @@ class TestBatchResult:
         assert result.visited == sum(r.visited for r in result.results)
         assert result.total_changed == len(result.changed)
         assert isinstance(result, BatchResult)
+
+    @pytest.mark.parametrize("sequence", ["om", "treap"])
+    def test_counters_are_per_batch_deltas(self, sequence):
+        engine = make_engine(
+            "order", random_gnm(20, 40, seed=4), sequence=sequence
+        )
+        edges = [e for e in random_gnm(20, 70, seed=5).edges()
+                 if not engine.graph.has_edge(*e)]
+        first = engine.apply_batch(Batch.inserts(edges[:8]))
+        second = engine.apply_batch(Batch.removes(edges[:8]))
+        for result in (first, second):
+            expected = {
+                "order_queries", "relabels", "rank_walk_steps",
+                "mcd_recomputations",
+            }
+            assert set(result.counters) == expected
+            assert all(v >= 0 for v in result.counters.values())
+        # Deltas, not cumulative totals: both batches did comparable
+        # work, so neither batch's counters can contain the sum.
+        totals = engine._batch_counters()
+        assert totals["order_queries"] == (
+            first.counters["order_queries"] + second.counters["order_queries"]
+        )
+        if sequence == "om":
+            assert first.counters["rank_walk_steps"] == 0
+            assert second.counters["rank_walk_steps"] == 0
+        else:
+            assert first.counters["relabels"] == 0
+
+    def test_counters_on_other_engines(self):
+        graph = random_gnm(15, 30, seed=6)
+        edges = [e for e in random_gnm(15, 45, seed=7).edges()
+                 if not graph.has_edge(*e)][:5]
+        naive = make_engine("naive", graph.copy())
+        result = naive.apply_batch(Batch.inserts(edges))
+        assert result.counters == {"recomputations": 1}
+        trav = make_engine("trav-2", graph.copy())
+        assert trav.apply_batch(Batch.inserts(edges)).counters == {}

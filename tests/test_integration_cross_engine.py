@@ -67,7 +67,8 @@ def test_engines_agree_on_family(family):
         return DynamicGraph(base, vertices=vertices)
 
     engines = [
-        OrderedCoreMaintainer(graph(), audit=True),
+        OrderedCoreMaintainer(graph(), audit=True),  # OM-list backend
+        OrderedCoreMaintainer(graph(), audit=True, sequence="treap"),
         TraversalCoreMaintainer(graph(), h=2, audit=True),
         TraversalCoreMaintainer(graph(), h=4),
         NaiveCoreMaintainer(graph()),

@@ -1,0 +1,275 @@
+"""Tests for the order-maintenance sequence backends.
+
+Both :class:`TaggedOrderList` and :class:`OrderStatisticTreap` implement
+the :class:`SequenceIndex` protocol, so a shared parametrized suite
+drives them through the same scenarios against a plain-list reference —
+including the relabel-storm stress case (adversarial same-position
+inserts) that exercises the OM list's Bender relabeling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.sequence import (
+    SequenceIndex,
+    SequenceStats,
+    TaggedOrderList,
+)
+from repro.structures.treap import OrderStatisticTreap
+
+BACKENDS = ("om", "treap")
+
+
+def make_backend(name, stats=None):
+    if name == "om":
+        return TaggedOrderList(stats=stats)
+    return OrderStatisticTreap(rng=random.Random(0), stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance and shared behavior
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSharedBehavior:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(make_backend(backend), SequenceIndex)
+
+    def test_positional_insertions(self, backend):
+        seq = make_backend(backend)
+        seq.insert_back("b")
+        seq.insert_front("a")
+        seq.insert_after("b", "d")
+        seq.insert_before("d", "c")
+        assert seq.to_list() == ["a", "b", "c", "d"]
+        assert len(seq) == 4 and "c" in seq and "z" not in seq
+        seq.check_invariants()
+
+    def test_extend_front_preserves_given_order(self, backend):
+        seq = make_backend(backend)
+        seq.insert_back("x")
+        seq.extend_front(["a", "b", "c"])
+        assert seq.to_list() == ["a", "b", "c", "x"]
+
+    def test_move_after(self, backend):
+        seq = make_backend(backend)
+        seq.extend_back("abcde")
+        seq.move_after("d", "b")
+        assert seq.to_list() == list("acdbe")
+        seq.move_after("a", "e")  # backward move, the eviction shape
+        assert seq.to_list() == list("aecdb")
+        with pytest.raises(ValueError):
+            seq.move_after("a", "a")
+        seq.check_invariants()
+
+    def test_precedes_matches_positions(self, backend):
+        seq = make_backend(backend)
+        seq.extend_back(range(10))
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    assert seq.precedes(i, j) == (i < j)
+
+    def test_rank_select_first_last_neighbors(self, backend):
+        seq = make_backend(backend)
+        seq.extend_back("abcde")
+        assert [seq.rank(c) for c in "abcde"] == [0, 1, 2, 3, 4]
+        assert [seq.select(i) for i in range(5)] == list("abcde")
+        assert seq.first() == "a" and seq.last() == "e"
+        assert seq.successor("b") == "c" and seq.predecessor("b") == "a"
+        assert seq.successor("e") is None and seq.predecessor("a") is None
+        with pytest.raises(IndexError):
+            seq.select(5)
+
+    def test_duplicate_and_missing_items_raise(self, backend):
+        seq = make_backend(backend)
+        seq.insert_back(1)
+        with pytest.raises(ValueError):
+            seq.insert_back(1)
+        with pytest.raises(KeyError):
+            seq.remove(2)
+        with pytest.raises(KeyError):
+            seq.rank(2)
+        with pytest.raises(KeyError):
+            seq.order_key(2)
+
+    def test_empty_sequence_edges(self, backend):
+        seq = make_backend(backend)
+        assert len(seq) == 0 and not seq and seq.to_list() == []
+        with pytest.raises(IndexError):
+            seq.first()
+        with pytest.raises(IndexError):
+            seq.last()
+        seq.insert_back(1)
+        seq.clear()
+        assert seq.to_list() == [] and 1 not in seq
+        seq.insert_back(2)  # usable after clear
+        assert seq.to_list() == [2]
+        seq.check_invariants()
+
+    def test_order_keys_compare_like_positions(self, backend):
+        seq = make_backend(backend)
+        seq.extend_back(range(20))
+        keys = {i: seq.order_key(i) for i in range(20)}
+        for a in range(20):
+            for b in range(20):
+                assert (keys[a] < keys[b]) == (a < b)
+                assert (keys[a] > keys[b]) == (a > b)
+
+    def test_order_queries_counted(self, backend):
+        stats = SequenceStats()
+        seq = make_backend(backend, stats)
+        seq.extend_back(range(5))
+        before = stats.order_queries
+        seq.precedes(0, 4)
+        seq.order_key(2)
+        assert stats.order_queries == before + 2
+
+    @given(ops=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 1000)), max_size=120
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleaving_matches_reference(self, backend, ops):
+        """Random insert/remove/precedes interleavings vs a plain list."""
+        seq = make_backend(backend)
+        ref = []
+        next_item = 0
+        for kind, pick in ops:
+            if kind == 0 or not ref:  # insert at a position
+                if ref and pick % 2:
+                    anchor = ref[pick % len(ref)]
+                    seq.insert_after(anchor, next_item)
+                    ref.insert(ref.index(anchor) + 1, next_item)
+                else:
+                    seq.insert_front(next_item)
+                    ref.insert(0, next_item)
+                next_item += 1
+            elif kind == 1:
+                seq.insert_back(next_item)
+                ref.append(next_item)
+                next_item += 1
+            elif kind == 2:
+                victim = ref.pop(pick % len(ref))
+                seq.remove(victim)
+            else:
+                a = ref[pick % len(ref)]
+                b = ref[(pick * 7 + 3) % len(ref)]
+                if a != b:
+                    assert seq.precedes(a, b) == (ref.index(a) < ref.index(b))
+        assert seq.to_list() == ref
+        seq.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# OM-list specifics: labels and relabeling
+# ----------------------------------------------------------------------
+
+class TestTaggedOrderList:
+    def test_relabel_storm_same_position_inserts(self):
+        """Adversarial same-gap hammering: every insert lands right after
+        one fixed anchor, exhausting its label gap over and over."""
+        stats = SequenceStats()
+        seq = TaggedOrderList(stats=stats)
+        seq.extend_back(range(200))
+        anchor = 100
+        storm = [1000 + i for i in range(2000)]
+        for item in storm:
+            seq.insert_after(anchor, item)
+        assert stats.relabels > 0
+        expected = list(range(101)) + storm[::-1] + list(range(101, 200))
+        assert seq.to_list() == expected
+        seq.check_invariants()
+
+    def test_front_storm(self):
+        """Prepend hammering exhausts the leading gap the same way."""
+        stats = SequenceStats()
+        seq = TaggedOrderList(stats=stats)
+        storm = list(range(3000))
+        for item in storm:
+            seq.insert_front(item)
+        assert seq.to_list() == storm[::-1]
+        assert stats.relabels > 0
+        seq.check_invariants()
+
+    def test_order_keys_stay_live_across_relabels(self):
+        """Keys granted before a relabel storm must still compare
+        correctly after it — the OrderInsert heap's invariant."""
+        seq = TaggedOrderList()
+        seq.extend_back(range(100))
+        keys = {i: seq.order_key(i) for i in range(0, 100, 7)}
+        relabels_before = seq.stats.relabels
+        for i in range(1500):
+            seq.insert_after(50, 1000 + i)  # storm between 50 and 51
+        assert seq.stats.relabels > relabels_before
+        held = sorted(keys)
+        for a in held:
+            for b in held:
+                assert (keys[a] < keys[b]) == (a < b)
+
+    def test_move_after_keeps_tokens_live(self):
+        """The OrderInsert stale-heap-entry hazard: a token granted
+        before the item is repositioned (and before relabel storms) must
+        keep comparing by the item's *current* position.  move_after
+        reuses the node, so the old token never freezes."""
+        seq = TaggedOrderList()
+        seq.extend_back(range(50))
+        token_30 = seq.order_key(30)
+        token_10 = seq.order_key(10)
+        seq.move_after(5, 30)  # 30 now sits between 5 and 6
+        assert token_30 < token_10  # ...so it precedes 10 per its token
+        relabels_before = seq.stats.relabels
+        for i in range(1500):
+            seq.insert_after(5, 1000 + i)  # storm right around 30's gap
+        assert seq.stats.relabels > relabels_before
+        assert token_30 < token_10
+        assert (token_30 < seq.order_key(5)) is False
+        assert seq.to_list().index(30) == seq.to_list().index(5) + 1501
+
+    def test_labels_strictly_increasing_under_random_churn(self):
+        rng = random.Random(9)
+        seq = TaggedOrderList()
+        ref = []
+        for i in range(4000):
+            if ref and rng.random() < 0.3:
+                victim = ref.pop(rng.randrange(len(ref)))
+                seq.remove(victim)
+            elif ref and rng.random() < 0.7:
+                anchor = ref[rng.randrange(len(ref))]
+                seq.insert_after(anchor, i)
+                ref.insert(ref.index(anchor) + 1, i)
+            else:
+                seq.insert_back(i)
+                ref.append(i)
+        assert seq.to_list() == ref
+        seq.check_invariants()
+
+    def test_om_answers_without_rank_walks(self):
+        stats = SequenceStats()
+        seq = TaggedOrderList(stats=stats)
+        seq.extend_back(range(500))
+        for i in range(0, 500, 3):
+            seq.precedes(i, (i * 13 + 7) % 500) if i != (i * 13 + 7) % 500 else None
+        assert stats.rank_walk_steps == 0
+        seq.rank(250)  # the diagnostic walk *is* charged
+        assert stats.rank_walk_steps == 250
+
+    def test_treap_rank_walks_counted(self):
+        stats = SequenceStats()
+        seq = OrderStatisticTreap(range(100), rng=random.Random(3), stats=stats)
+        assert stats.rank_walk_steps == 0
+        seq.precedes(10, 90)
+        assert stats.order_queries == 1
+        assert stats.rank_walk_steps > 0
+
+    def test_stats_reset_and_as_dict(self):
+        stats = SequenceStats(order_queries=3, relabels=1, rank_walk_steps=7)
+        assert stats.as_dict() == {
+            "order_queries": 3, "relabels": 1, "rank_walk_steps": 7,
+        }
+        stats.reset()
+        assert stats.as_dict() == {
+            "order_queries": 0, "relabels": 0, "rank_walk_steps": 0,
+        }
