@@ -21,14 +21,16 @@ ENGINE_NAMES = tuple(n for n in available_engines() if n != "trav")
 
 
 def build_engine(
-    name: str, graph: DynamicGraph, seed: int = 0
+    name: str, graph: DynamicGraph, seed: int = 0, **opts
 ) -> CoreMaintainer:
     """Instantiate a maintenance engine by registry name.
 
     Thin wrapper over :func:`repro.engine.registry.make_engine`, kept so
     existing bench call sites (and their ``seed`` convention) still work.
+    Extra keyword options (``sequence``, ``partition``, ``parallel``, …)
+    pass straight through to the engine factory.
     """
-    return make_engine(name, graph, seed=seed)
+    return make_engine(name, graph, seed=seed, **opts)
 
 
 def run_updates(

@@ -37,6 +37,15 @@ def _engine_name(value: str) -> str:
     )
 
 
+def _positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {workers}"
+        )
+    return workers
+
+
 def _dataset_list(value: str) -> list[str]:
     names = [n.strip() for n in value.split(",") if n.strip()]
     known = set(dataset_names())
@@ -76,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--mix", type=float, default=0.2,
         help="batch: probability of a removal after each insertion",
+    )
+    parser.add_argument(
+        "--partition", action="store_true",
+        help="batch: split each batch into independent regions before "
+        "applying (order engines)",
+    )
+    parser.add_argument(
+        "--parallel", type=_positive_int, default=None, metavar="WORKERS",
+        help="batch: opt-in region-parallel worker pool for the order "
+        "engines (implies --partition)",
     )
     parser.add_argument(
         "--datasets",
@@ -203,10 +222,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engines = ["order", "trav-2", "naive"]
         if args.engine not in engines:
             engines.append(args.engine)
+        engine_opts = {}
+        if args.partition:
+            engine_opts["partition"] = True
+        if args.parallel:
+            engine_opts["parallel"] = args.parallel
         print(reporting.render_batch([
             experiments.batch_throughput(
                 n, args.updates, args.batch_size, p=args.mix,
-                engines=engines, **common,
+                engines=engines, engine_opts=engine_opts or None, **common,
             )
             for n in targets
         ]))

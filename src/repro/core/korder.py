@@ -148,10 +148,15 @@ class KOrder:
 
     def prepend_chain(self, k: int, vertices: Iterable[Vertex]) -> None:
         """Insert ``vertices`` at the *front* of ``O_k``, preserving their
-        given relative order — the ``OrderInsert`` ending-phase move."""
+        given relative order — the ``OrderInsert`` ending-phase move.
+
+        Materialized once so one-shot iterables work, then handed to the
+        block as a whole chain (the OM backend preallocates a label gap
+        sized to it instead of bisecting per vertex)."""
+        chain = list(vertices)
         treap = self.block(k)
-        treap.extend_front(vertices)
-        for vertex in vertices:
+        treap.extend_front(chain)
+        for vertex in chain:
             self._k_of[vertex] = k
 
     def remove(self, vertex: Vertex) -> None:

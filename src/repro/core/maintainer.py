@@ -4,7 +4,10 @@
 
 * the static k-order decomposition (Section VI generation heuristics);
 * :func:`repro.core.insertion.order_insert` (Algorithms 2-3);
-* :func:`repro.core.removal.order_remove` (Algorithm 4);
+* :func:`repro.core.removal.order_remove` (Algorithm 4) for per-edge
+  removals and :func:`repro.core.removal.order_remove_run` for
+  batch-native removal runs (one joint cascade per ``K``-level,
+  incremental ``mcd``);
 * ``mcd`` upkeep — the order-based algorithm still maintains max-core
   degrees because the removal cascade bounds ``cd`` with them (the paper's
   Algorithm 2 line 33 / Algorithm 4 line 15), but crucially it does *not*
@@ -26,15 +29,17 @@ Example
 from __future__ import annotations
 
 import random
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.core.decomposition import korder_decomposition
 from repro.core.insertion import order_insert
 from repro.core.korder import DEFAULT_SEQUENCE, KOrder
-from repro.core.removal import order_remove
+from repro.core.removal import RemovalRunResult, order_remove, order_remove_run
 from repro.engine.base import CoreMaintainer, UpdateResult
-from repro.engine.batch import Batch, BatchResult
+from repro.engine.batch import Batch, BatchResult, merge_deltas, net_changes
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
 
@@ -72,6 +77,17 @@ class OrderedCoreMaintainer(CoreMaintainer):
         order-maintenance lists, O(1) order tests) or ``"treap"`` (the
         original order-statistic treaps, O(log n) rank walks).  Both
         yield identical orders and cores; only the query cost differs.
+    partition:
+        When true, :meth:`apply_batch` first splits every batch into
+        independent regions with :meth:`~repro.engine.batch.Batch.partition`
+        and applies them one by one.  Off by default — the partitioner
+        walks the touched components, which per-batch hot paths should
+        not pay unless asked to.
+    parallel:
+        Opt-in worker count for region-parallel batch application
+        (implies ``partition``).  ``None``/``0`` keeps the sequential
+        schedule.  See :meth:`apply_batch` for what "parallel" means in
+        CPython today.
     """
 
     name = "order"
@@ -81,6 +97,10 @@ class OrderedCoreMaintainer(CoreMaintainer):
     #: restored from snapshots (which bypass ``__init__``) start at 0 too.
     mcd_recomputations = 0
 
+    #: Scheduler defaults, class-level for the same snapshot reason.
+    _batch_partition = False
+    _batch_parallel: Optional[int] = None
+
     def __init__(
         self,
         graph: DynamicGraph,
@@ -88,6 +108,8 @@ class OrderedCoreMaintainer(CoreMaintainer):
         seed: Optional[int] = 0,
         audit: bool = False,
         sequence: str = DEFAULT_SEQUENCE,
+        partition: bool = False,
+        parallel: Optional[int] = None,
     ) -> None:
         super().__init__(graph)
         self._audit = audit
@@ -99,6 +121,8 @@ class OrderedCoreMaintainer(CoreMaintainer):
         )
         self._mcd = compute_mcd(graph, self._core)
         self.mcd_recomputations = 0
+        self._batch_partition = bool(partition)
+        self._batch_parallel = parallel if parallel else None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -172,39 +196,136 @@ class OrderedCoreMaintainer(CoreMaintainer):
         Batch semantics apply: duplicate input edges are dropped rather
         than raising, and each result's ``edge`` carries the normalized
         orientation — so zip results with the *deduplicated* batch ops,
-        not the raw input, when inputs may repeat.
+        not the raw input, when inputs may repeat.  Partitioning is
+        pinned off: a bulk load is one logical run, so the partition
+        walk would be pure overhead here.
         """
-        return self.apply_batch(Batch.inserts(edges)).results
+        return self.apply_batch(
+            Batch.inserts(edges), partition=False, parallel=0
+        ).results
 
-    def apply_batch(self, batch: Batch) -> BatchResult:
+    def apply_batch(
+        self,
+        batch: Batch,
+        partition: Optional[bool] = None,
+        parallel: Optional[int] = None,
+    ) -> BatchResult:
         """Apply a mixed batch, coalescing ``mcd`` repair per run.
 
         ``OrderInsert`` never reads ``mcd`` (only ``OrderRemoval`` does,
-        to seed its cascade), so a run of consecutive insertions can skip
-        the per-update ``mcd`` repair entirely and do *one* targeted
-        repair at the run boundary: every vertex is recomputed at most
-        once per run however many insertions touched it.  Removal runs
-        keep the per-edge repair (the cascade consumes ``mcd`` mid-run).
+        to seed its cascade), so a run of consecutive insertions skips
+        the per-update ``mcd`` repair entirely and does *one* targeted
+        repair at the run boundary.  Removal runs are batch-native too:
+        :func:`~repro.core.removal.order_remove_run` removes the whole
+        run's edges up front, cascades once per affected ``K``-level,
+        and keeps ``mcd`` incrementally exact, so the per-edge
+        ``_refresh_mcd`` pass disappears from the hot path.
         :meth:`Batch.runs` reorders conflict-free batches into one
         removal run followed by one insertion run, so a long mixed batch
-        pays one removal-side repair per edge plus a single coalesced
-        insertion-side repair.
+        pays one coalesced repair per side.
+
+        Scheduling: with ``partition`` (per-call override of the engine
+        default) the batch is first split into independent regions by
+        :meth:`~repro.engine.batch.Batch.partition` and the regions are
+        applied one by one — correct under any region order because core
+        numbers are a function of the final graph and every region
+        application restores the full index invariants.  ``parallel``
+        (worker count; implies partitioning unless ``partition=False``
+        is passed explicitly) applies regions from a
+        thread pool; the k-order blocks are shared across regions, so
+        each worker holds an engine-wide region lock while it applies —
+        in CPython this (like the GIL) serializes index mutation, making
+        ``parallel=`` a scheduling seam and an agreement harness for
+        region scheduling rather than a wall-clock win today.  True
+        parallelism needs per-region engine state (see ROADMAP).
+
+        ``BatchResult.results`` keeps per-op detail only for batches
+        without removals: removal runs are fully coalesced, so per-edge
+        attribution no longer exists (``changed``/``visited`` stay
+        exact, aggregated at run level).  When results are kept they are
+        restored to the batch's op order even under a partitioned
+        schedule, so zipping them with the batch's ops stays valid.
+        ``BatchResult.counters`` always reports the schedule's
+        ``regions`` and ``region_max_size``.
         """
         started = time.perf_counter()
         baseline = self._batch_counters()
+        if parallel is None:
+            parallel = self._batch_parallel
+        if partition is None:
+            # parallel implies partitioning — but an explicit
+            # partition=False wins (the pool then sees one region and
+            # degrades to the sequential path).
+            partition = self._batch_partition or bool(parallel)
+        if partition and len(batch) > 1:
+            regions = batch.partition(self._graph, core=self._core)
+        else:
+            regions = [batch] if batch else []
+        if parallel and len(regions) > 1:
+            lock = threading.Lock()
+            with ThreadPoolExecutor(max_workers=parallel) as pool:
+                outcomes = list(
+                    pool.map(lambda r: self._apply_region(r, lock), regions)
+                )
+        else:
+            outcomes = [self._apply_region(region) for region in regions]
+
+        inserts = removes = visited = 0
+        results: Optional[list[UpdateResult]] = []
+        changed: dict[Vertex, int] = {}
+        for region_results, removal_runs, n_ins, n_rem in outcomes:
+            inserts += n_ins
+            removes += n_rem
+            visited += sum(r.visited for r in region_results)
+            if removal_runs:
+                results = None
+            if results is not None:
+                results.extend(region_results)
+            merge_deltas(changed, net_changes(region_results).items())
+            for run in removal_runs:
+                visited += run.visited
+                merge_deltas(changed, run.changed.items())
+        if results is not None and len(regions) > 1:
+            # Results are kept only for removal-free batches, whose
+            # deduplicated ops have unique edges: restore batch op order
+            # so the documented zip-with-ops contract survives regions.
+            positions = {op.edge: i for i, op in enumerate(batch)}
+            results.sort(key=lambda r: positions[r.edge])
+        counters = self._counter_deltas(baseline)
+        counters["regions"] = len(regions)
+        counters["region_max_size"] = max(
+            (len(region) for region in regions), default=0
+        )
+        return BatchResult(
+            engine=self.name,
+            inserts=inserts,
+            removes=removes,
+            changed=changed,
+            visited=visited,
+            seconds=time.perf_counter() - started,
+            results=results,
+            counters=counters,
+        )
+
+    def _apply_region(
+        self, region: Batch, lock: Optional[threading.Lock] = None
+    ) -> tuple[list[UpdateResult], list[RemovalRunResult], int, int]:
+        """Apply one region's runs; returns per-op insert results, the
+        coalesced removal-run results, and the op counts."""
+        if lock is not None:
+            with lock:
+                return self._apply_region(region)
         results: list[UpdateResult] = []
+        removal_runs: list[RemovalRunResult] = []
         inserts = removes = 0
-        for kind, run_edges in batch.runs():
+        for kind, run_edges in region.runs():
             if kind == "insert":
                 results.extend(self._insert_run(run_edges))
                 inserts += len(run_edges)
             else:
-                for u, v in run_edges:
-                    results.append(self.remove_edge(u, v))
+                removal_runs.append(self._remove_run(run_edges))
                 removes += len(run_edges)
-        return self._finish_batch(
-            results, inserts, removes, started, counter_baseline=baseline
-        )
+        return results, removal_runs, inserts, removes
 
     def _batch_counters(self) -> dict[str, int]:
         """Cumulative instrumentation (sequence stats + ``mcd`` repairs)."""
@@ -264,6 +385,23 @@ class OrderedCoreMaintainer(CoreMaintainer):
         if self._audit:
             self.check()
         return results
+
+    def _remove_run(self, edges) -> RemovalRunResult:
+        """Remove a run of edges through the batch-native joint cascade.
+
+        ``mcd`` is maintained incrementally inside
+        :func:`~repro.core.removal.order_remove_run`, so the run charges
+        exactly one targeted recomputation per demotion (one pass over
+        the run's disposed set) instead of the per-edge path's
+        ``V* + endpoints`` refresh for every edge.
+        """
+        run = order_remove_run(
+            self._graph, self.korder, self._core, self._mcd, edges
+        )
+        self.mcd_recomputations += run.recomputed
+        if self._audit:
+            self.check()
+        return run
 
     def degeneracy_order(self) -> list[Vertex]:
         """The maintained k-order read as a degeneracy ordering.

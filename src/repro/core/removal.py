@@ -1,4 +1,4 @@
-"""``OrderRemoval`` — Algorithm 4 of the paper.
+"""``OrderRemoval`` — Algorithm 4 of the paper — and its batch-native run.
 
 Finding ``V*`` reuses the traversal-removal cascade: initialize
 ``cd(w) = mcd(w)`` lazily for touched vertices and repeatedly dispose of
@@ -12,16 +12,47 @@ of ``O_{K-1}``; its own ``deg+`` is recomputed from its neighborhood, and
 each still-core-``K`` neighbor that preceded it loses one ``deg+`` unit
 (the vertex jumped from after them to before them).  Vertices already in
 ``O_{K-1}`` are unaffected (the newcomers land *behind* them).
+
+Two entry points share that repair:
+
+* :func:`order_remove` — the per-edge Algorithm 4.  It consumes the
+  maintained ``mcd`` as cascade bounds and leaves the final ``mcd``
+  refresh of the touched neighborhoods to the caller (the maintainer's
+  ``_refresh_mcd``), which costs one recomputation pass *per edge*.
+* :func:`order_remove_run` — the batch-native run (in the spirit of Guo &
+  Sekerinski 2022's simplified order-based variants).  All edges of a
+  removal run leave the graph up front (``deg+`` and the early ``mcd``
+  decrements of Algorithm 4 lines 3-4 applied as they go); then one joint
+  ``V*`` cascade runs per affected ``K``-level, highest level first,
+  seeded with *every* sub-threshold root of that level at once, so
+  overlapping neighborhoods are walked once per run instead of once per
+  edge.  Crucially the cascade keeps ``mcd`` exact *incrementally*: a
+  demotion ``K -> K-1`` decrements ``mcd`` of the core-``K`` neighbors
+  (the only ones that lose a qualifying neighbor) and recomputes the
+  demoted vertex's own ``mcd`` during the adjacency scan the cascade
+  already pays for.  No per-edge ``mcd`` refresh remains — the run
+  charges exactly one targeted recomputation per *demotion* (the
+  ``recomputed`` field, which the maintainer folds into its
+  ``mcd_recomputations`` counter).
+
+Processing levels in descending order is sound because a level-``K``
+cascade can only create new sub-threshold vertices at level ``K`` (its
+own queue) or ``K - 1`` (the vertices it demotes): demoting ``w`` from
+``K`` to ``K-1`` changes ``mcd`` only of neighbors with core exactly
+``K``, and a vertex may lose several levels in one run (batches are not
+limited to the per-edge ``|delta core| <= 1`` of Theorem 3.1).
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
 
 from repro.core.korder import KOrder
 from repro.graphs.undirected import DynamicGraph
 
 Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
 
 
 def order_remove(
@@ -42,16 +73,17 @@ def order_remove(
     Returns ``(v_star, K, visited)`` with ``v_star`` in disposal order and
     ``visited`` the number of vertices whose ``cd`` was materialized.
     """
+    graph.remove_edge(u, v)  # validates before any index mutation
     cu, cv = core[u], core[v]
     K = min(cu, cv)
 
-    # The departing edge leaves the earlier endpoint's deg+ (it counted the
-    # later endpoint).  Must be decided before the edge leaves the graph.
+    # The departing edge leaves the earlier endpoint's deg+ (it counted
+    # the later endpoint); the order test reads the k-order, not the
+    # graph, so it is unaffected by the edge already being gone.
     if cu < cv or (cu == cv and korder.precedes(u, v)):
         korder.deg_plus[u] -= 1
     else:
         korder.deg_plus[v] -= 1
-    graph.remove_edge(u, v)
 
     # Early mcd decrements (Algorithm 4, lines 3-4).
     if cu <= cv:
@@ -91,26 +123,174 @@ def order_remove(
                 stack.append(z)
                 queued.add(z)
 
-    # Repair the k-order: move V* members to the tail of O_{K-1}.  Order
-    # tests against w's neighbors go through order_key tokens: O(1) label
-    # compares under the OM backend, rank walks under the treap.
+    # Repair the k-order: move V* members to the tail of O_{K-1}.
     if disposed:
-        remaining = set(disposed)
-        block = korder.block(K)
-        deg_plus = korder.deg_plus
-        for w in disposed:
-            remaining.discard(w)
-            key_w = block.order_key(w)
-            new_plus = 0
-            for z in graph.adj[w]:
-                cz = core[z]
-                if cz == K and block.order_key(z) < key_w:
-                    # z stays in O_K; w jumps from after z to before it.
-                    deg_plus[z] -= 1
-                if cz >= K or z in remaining:
-                    new_plus += 1
-            deg_plus[w] = new_plus
-            korder.remove(w)
-            korder.append(K - 1, w)
+        _repair_level(graph, korder, core, K, disposed)
 
     return disposed, K, len(cd)
+
+
+def _repair_level(
+    graph: DynamicGraph,
+    korder: KOrder,
+    core: dict[Vertex, int],
+    K: int,
+    disposed: list[Vertex],
+) -> None:
+    """Move a level's ``V*`` to the tail of ``O_{K-1}`` in disposal order
+    (Theorem 5.3) — the repair shared by the per-edge and run paths.
+
+    Each mover's ``deg+`` is recomputed from its neighborhood (stayers
+    plus later-disposed members, which land behind it); every
+    still-core-``K`` neighbor that preceded the mover loses one ``deg+``
+    unit (the mover jumped from after it to before it).  Order tests go
+    through ``order_key`` tokens: O(1) label compares under the OM
+    backend, rank walks under the treap.
+    """
+    remaining = set(disposed)
+    block = korder.block(K)
+    deg_plus = korder.deg_plus
+    for w in disposed:
+        remaining.discard(w)
+        key_w = block.order_key(w)
+        new_plus = 0
+        for z in graph.adj[w]:
+            cz = core[z]
+            if cz == K and block.order_key(z) < key_w:
+                deg_plus[z] -= 1
+            if cz >= K or z in remaining:
+                new_plus += 1
+        deg_plus[w] = new_plus
+        korder.remove(w)
+        korder.append(K - 1, w)
+
+
+@dataclass
+class RemovalRunResult:
+    """Aggregate outcome of one batch-native removal run.
+
+    Attributes
+    ----------
+    removed:
+        Edges that actually left the graph.
+    changed:
+        Net core delta per demoted vertex (always negative; a vertex
+        demoted across ``d`` levels carries ``-d``).
+    visited:
+        Search-space size: distinct vertices whose ``mcd`` bound was
+        examined, summed over the per-level cascades (the run-level
+        analogue of the per-edge ``len(cd)``).
+    recomputed:
+        Per-vertex ``mcd`` recomputations the run performed — exactly one
+        per demotion, i.e. one targeted pass over the run's disposed set
+        (endpoint upkeep is pure decrements and charges nothing).
+    levels:
+        The ``K``-levels whose joint cascade disposed at least one
+        vertex, in the descending order they were processed.
+    """
+
+    removed: int = 0
+    changed: dict = field(default_factory=dict)
+    visited: int = 0
+    recomputed: int = 0
+    levels: tuple = ()
+
+
+def order_remove_run(
+    graph: DynamicGraph,
+    korder: KOrder,
+    core: dict[Vertex, int],
+    mcd: dict[Vertex, int],
+    edges: Iterable[Edge],
+) -> RemovalRunResult:
+    """Remove a whole run of ``edges`` and repair ``core``, ``korder``
+    and ``mcd`` — the batch-native counterpart of :func:`order_remove`.
+
+    Unlike the per-edge path, ``mcd`` is maintained *incrementally* and is
+    exact when the call returns; the caller performs no refresh.  If an
+    edge is invalid (absent from the graph), the run raises after first
+    completing the cascades for the edges that did land, so the index
+    stays fully consistent with the partially-updated graph.
+    """
+    deg_plus = korder.deg_plus
+    # Vertices whose mcd dropped, keyed by their (stable until their
+    # level is processed) core number: the joint-cascade seed sets.
+    pending: dict[int, set[Vertex]] = {}
+    result = RemovalRunResult()
+    levels: list[int] = []
+    try:
+        for u, v in edges:
+            graph.remove_edge(u, v)  # validates before any index mutation
+            cu, cv = core[u], core[v]
+            # The departing edge leaves the earlier endpoint's deg+; no
+            # reorder happens during this phase, so all order tests are
+            # against one stable k-order.
+            if cu < cv or (cu == cv and korder.precedes(u, v)):
+                deg_plus[u] -= 1
+            else:
+                deg_plus[v] -= 1
+            # Early mcd decrements (Algorithm 4, lines 3-4), seeding any
+            # endpoint that fell below its level.
+            if cu <= cv:
+                mcd[u] -= 1
+                if mcd[u] < cu:
+                    pending.setdefault(cu, set()).add(u)
+            if cv <= cu:
+                mcd[v] -= 1
+                if mcd[v] < cv:
+                    pending.setdefault(cv, set()).add(v)
+            result.removed += 1
+    finally:
+        # Runs even when an edge op raises, so the removals that did land
+        # leave core/korder/mcd consistent before the error propagates.
+        changed = result.changed
+        while pending:
+            K = max(pending)
+            seeds = pending.pop(K)
+            # One joint V* cascade for the whole level: every
+            # sub-threshold root enters the queue at once.
+            stack: list[Vertex] = []
+            queued: set[Vertex] = set()
+            touched: set[Vertex] = set()
+            for w in seeds:
+                if core[w] != K:  # re-seeded at a lower level meanwhile
+                    continue
+                touched.add(w)
+                if mcd[w] < K:
+                    stack.append(w)
+                    queued.add(w)
+            disposed: list[Vertex] = []
+            while stack:
+                w = stack.pop()
+                disposed.append(w)
+                core[w] = K - 1
+                changed[w] = changed.get(w, 0) - 1
+                new_mcd = 0
+                for z in graph.adj[w]:
+                    cz = core[z]
+                    if cz >= K - 1:
+                        new_mcd += 1
+                    if cz == K:
+                        # z lost a qualifying neighbor (w fell below K).
+                        touched.add(z)
+                        mcd[z] -= 1
+                        if mcd[z] < K and z not in queued:
+                            stack.append(z)
+                            queued.add(z)
+                # w's own mcd now bounds against K-1; recomputed in the
+                # adjacency scan the cascade pays for anyway.
+                mcd[w] = new_mcd
+                result.recomputed += 1
+            result.visited += len(touched)
+            if not disposed:
+                continue
+            levels.append(K)
+            # Repair the k-order once for the level.
+            _repair_level(graph, korder, core, K, disposed)
+            # Demotions may leave vertices sub-threshold at K-1 too —
+            # batches can sink a vertex through several levels.
+            lower = {w for w in disposed if mcd[w] < K - 1}
+            if lower:
+                pending.setdefault(K - 1, set()).update(lower)
+        result.levels = tuple(levels)
+    return result

@@ -16,8 +16,9 @@ Besides the per-edge updates the paper describes, every engine accepts a
 :class:`~repro.engine.batch.Batch` of mixed insertions/removals through
 :meth:`CoreMaintainer.apply_batch`.  The base class provides a per-edge
 fallback; engines override it with genuinely faster batched paths (the
-order engine coalesces ``mcd`` repair per same-kind run, the naive engine
-recomputes once per batch).
+order engine coalesces ``mcd`` repair per same-kind run — batch-native on
+both the insertion and removal sides — and schedules independent batch
+regions; the naive engine recomputes once per batch).
 
 Engines are created by name through the registry in
 :mod:`repro.engine.registry` (:func:`~repro.engine.registry.make_engine`).
@@ -194,6 +195,22 @@ class CoreMaintainer(ABC):
         """
         return {}
 
+    def _counter_deltas(self, baseline: Optional[dict]) -> dict:
+        """Current :meth:`_batch_counters` as per-batch deltas.
+
+        ``baseline`` is a counter snapshot taken when the batch started;
+        engines whose schedules build :class:`BatchResult` directly (the
+        order engine's region scheduler) share this arithmetic with
+        :meth:`_finish_batch`.
+        """
+        counters = self._batch_counters()
+        if baseline:
+            counters = {
+                key: value - baseline.get(key, 0)
+                for key, value in counters.items()
+            }
+        return counters
+
     def _finish_batch(
         self,
         results: list,
@@ -210,12 +227,7 @@ class CoreMaintainer(ABC):
         taken when the batch started) turns the cumulative counters into
         per-batch deltas.
         """
-        counters = self._batch_counters()
-        if counter_baseline:
-            counters = {
-                key: value - counter_baseline.get(key, 0)
-                for key, value in counters.items()
-            }
+        counters = self._counter_deltas(counter_baseline)
         return BatchResult(
             engine=self.name,
             inserts=inserts,

@@ -14,7 +14,10 @@ Names
     to pick the k-order block backend (O(1) tagged order-maintenance
     lists vs O(log n) order-statistic treaps); ``order-om`` and
     ``order-treap`` are aliases that pin the backend by name, for
-    CLI ``--engine`` selection.
+    CLI ``--engine`` selection.  They also accept the batch-scheduler
+    options ``partition=True`` (split every batch into independent
+    regions before applying) and ``parallel=<workers>`` (opt-in
+    region-parallel application; implies partitioning).
 ``trav-<h>``
     The traversal baseline with hop count ``h >= 2`` (``trav`` alone means
     ``trav-2``); any ``h`` is accepted, not just the pre-listed ones.
@@ -103,12 +106,15 @@ def _make_order(policy: str, sequence: str = None):
         audit: bool = False,
         policy: str = policy,
         sequence: str = sequence,
+        partition: bool = False,
+        parallel=None,
     ):
         from repro.core.maintainer import OrderedCoreMaintainer
 
         opts = {} if sequence is None else {"sequence": sequence}
         return OrderedCoreMaintainer(
-            graph, policy=policy, seed=seed, audit=audit, **opts
+            graph, policy=policy, seed=seed, audit=audit,
+            partition=partition, parallel=parallel, **opts
         )
 
     return factory

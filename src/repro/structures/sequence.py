@@ -196,7 +196,9 @@ class TaggedOrderList:
     ``_SPAN``; stored nodes carry strictly increasing integer labels in
     between.  ``precedes`` is one integer comparison; insertion bisects
     the neighboring label gap (with wide fast-path gaps for appends and
-    prepends) and, when a gap is exhausted, relabels the smallest
+    prepends, and batch-aware label preallocation for whole
+    :meth:`extend_front` chains) and, when a gap is exhausted, relabels
+    the smallest
     enclosing label-aligned range whose density is below the level's
     threshold — Bender et al.'s simplified tag-management policy.
 
@@ -359,14 +361,52 @@ class TaggedOrderList:
 
         ``extend_front([a, b, c])`` on sequence ``[x]`` yields
         ``[a, b, c, x]`` — the ``OrderInsert`` ending-phase move.
+
+        The whole chain is labeled in one pass: a label gap sized to the
+        chain is reserved in front of the current first node and the
+        chain's labels are spread evenly across it.  Inserting the chain
+        one item at a time would repeatedly bisect the same gap and
+        trigger a relabeling roughly every ``log2(_GAP)`` items — the
+        "relabel storm" that made bulk loads pay O(chain * relabel) —
+        whereas the preallocated chain triggers at most one spread of
+        the existing labels (and typically none: the ``relabels``
+        counter stays flat).
         """
-        previous: Optional[Hashable] = None
-        for item in items:
-            if previous is None:
-                self.insert_front(item)
-            else:
-                self.insert_after(previous, item)
-            previous = item
+        chain = list(items)
+        if not chain:
+            return
+        seen: set = set()
+        for item in chain:
+            if item in self._nodes or item in seen:
+                raise ValueError(f"item {item!r} already stored in sequence")
+            seen.add(item)
+        first = self._head.next
+        if first.label <= len(chain):
+            # Not enough label room in front: spread the existing labels
+            # over the whole space once, instead of cascading per-item
+            # relabels while the chain lands.
+            self._spread()
+        step = first.label // (len(chain) + 1)
+        if step < 1:  # pragma: no cover - needs ~2^61 stored items
+            previous: Optional[Hashable] = None
+            for item in chain:
+                if previous is None:
+                    self.insert_front(item)
+                else:
+                    self.insert_after(previous, item)
+                previous = item
+            return
+        prev = self._head
+        label = 0
+        for item in chain:
+            label += step
+            node = _ListNode(item, label)
+            self._nodes[item] = node
+            node.prev = prev
+            prev.next = node
+            prev = node
+        prev.next = first
+        first.prev = prev
 
     def move_after(self, anchor_item: Hashable, item: Hashable) -> None:
         """Relocate ``item`` to immediately after ``anchor_item``.
@@ -452,12 +492,7 @@ class TaggedOrderList:
             if width >= self._SPAN:
                 # Degenerate fallback: spread everything over the whole
                 # label space (unreachable until ~2^40 stored items).
-                nodes = list(self._iter_nodes())
-                step = self._SPAN // (len(nodes) + 1)
-                label = 0
-                for node in nodes:
-                    label += step
-                    node.label = label
+                self._spread(count=False)
                 return
             base = anchor.label - (anchor.label % width)
             first = anchor
@@ -481,6 +516,23 @@ class TaggedOrderList:
                     node = node.next
                 return
             i += 1
+
+    def _spread(self, count: bool = True) -> None:
+        """Redistribute every label evenly over the whole label space.
+
+        One relabeling event (charged to ``stats.relabels`` unless called
+        from ``_relabel``, which already charged itself); leaves the
+        front gap at ``_SPAN // (n + 1)``, which is what
+        :meth:`extend_front` relies on to reserve chain-sized room.
+        """
+        if count:
+            self.stats.relabels += 1
+        nodes = list(self._iter_nodes())
+        step = self._SPAN // (len(nodes) + 1)
+        label = 0
+        for node in nodes:
+            label += step
+            node.label = label
 
     def _iter_nodes(self) -> Iterator[_ListNode]:
         node = self._head.next

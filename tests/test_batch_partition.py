@@ -1,0 +1,203 @@
+"""Tests for the batch region partitioner and the region scheduler.
+
+``Batch.partition`` must (a) group ops whose edges touch or are connected
+through the current graph, (b) keep disjoint components apart, (c) refine
+by core levels when given ``core`` (high-core walls do not glue regions),
+and (d) preserve per-edge op order inside a region.  The scheduler tests
+then check the independence claim itself: applying the regions in any
+order — sequentially or through the opt-in parallel path — ends in the
+same cores as applying the original batch.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.decomposition import core_numbers
+from repro.engine import Batch, make_engine
+from repro.graphs.undirected import DynamicGraph
+
+
+def two_triangles():
+    """Two disconnected triangles."""
+    return DynamicGraph([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)])
+
+
+class TestPartition:
+    def test_disconnected_components_split(self):
+        graph = two_triangles()
+        batch = Batch.removes([(0, 1), (10, 11)])
+        regions = batch.partition(graph)
+        assert len(regions) == 2
+        assert sorted(len(r) for r in regions) == [1, 1]
+        # Regions come back in first-op order.
+        assert regions[0].ops[0].edge == (0, 1)
+
+    def test_ops_connected_through_graph_stay_together(self):
+        # The two removed edges share no endpoint but are connected
+        # through the path 2-3-10.
+        graph = DynamicGraph([(0, 1), (1, 2), (2, 3), (3, 10), (10, 11)])
+        batch = Batch.removes([(0, 1), (10, 11)])
+        regions = batch.partition(graph)
+        assert len(regions) == 1
+        assert len(regions[0]) == 2
+
+    def test_batch_edges_bridge_components(self):
+        # Inserting an edge between the components fuses the regions.
+        graph = two_triangles()
+        batch = Batch.removes([(0, 1), (10, 11)]).insert(2, 12)
+        regions = batch.partition(graph)
+        assert len(regions) == 1
+
+    def test_new_vertices_partition_by_batch_edges_only(self):
+        graph = DynamicGraph([(0, 1)])
+        batch = Batch.inserts([("a", "b"), ("b", "c"), ("x", "y"), (0, 2)])
+        regions = batch.partition(graph)
+        assert len(regions) == 3
+        sizes = sorted(len(r) for r in regions)
+        assert sizes == [1, 1, 2]
+
+    def test_core_refinement_splits_across_high_core_wall(self):
+        # Two pendant paths hang off a K5; the removals are level-1
+        # updates whose cascades can never climb into the core-4 clique,
+        # so with core numbers the wall no longer glues the regions.
+        k5 = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        left = [(0, 100), (100, 101)]
+        right = [(1, 200), (200, 201)]
+        graph = DynamicGraph(k5 + left + right)
+        core = core_numbers(graph)
+        batch = Batch.removes([(100, 101), (200, 201)])
+        assert len(batch.partition(graph)) == 1  # pure connectivity
+        regions = batch.partition(graph, core=core)
+        assert len(regions) == 2
+
+    def test_core_refinement_keeps_reachable_updates_together(self):
+        # Same shape, but removals at the clique's own level must still
+        # share a region (the cap admits the clique).
+        k5 = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        graph = DynamicGraph(k5 + [(0, 100), (1, 200)])
+        core = core_numbers(graph)
+        batch = Batch.removes([(0, 1), (2, 3)])
+        regions = batch.partition(graph, core=core)
+        assert len(regions) == 1
+
+    def test_per_edge_op_order_preserved_within_region(self):
+        graph = DynamicGraph([(5, 6)])
+        batch = Batch().insert(1, 2).remove(1, 2).insert(1, 2).remove(5, 6)
+        regions = batch.partition(graph)
+        by_edge = {r.ops[0].edge: r for r in regions}
+        assert [op.kind for op in by_edge[(1, 2)]] == [
+            "insert", "remove", "insert",
+        ]
+        assert len(by_edge[(5, 6)]) == 1
+
+    def test_empty_batch(self):
+        assert Batch().partition(DynamicGraph([(0, 1)])) == []
+
+    def test_counts_are_cached_and_correct(self):
+        batch = Batch.inserts([(1, 2), (2, 3)]).remove(4, 5)
+        assert batch.counts() == (2, 1)
+        batch.insert(1, 2)  # duplicate of the pending op: dropped
+        assert batch.counts() == (2, 1)
+        batch.remove(1, 2).insert(1, 2)
+        assert batch.counts() == (3, 2)
+        assert repr(batch) == "Batch(3 inserts, 2 removes)"
+
+
+class TestRegionScheduler:
+    def mixed_setup(self, seed=0):
+        rng = random.Random(seed)
+        blocks = []
+        edges = []
+        for b in range(4):  # four disconnected pockets
+            base = b * 20
+            verts = range(base, base + 8)
+            pairs = [
+                (i, j) for i in verts for j in verts if i < j
+            ]
+            rng.shuffle(pairs)
+            block_edges = pairs[:14]
+            edges.extend(block_edges)
+            blocks.append(block_edges)
+        batch = Batch()
+        for block_edges in blocks:
+            for edge in rng.sample(block_edges, 4):
+                batch.remove(*edge)
+        return edges, batch
+
+    def test_any_region_order_matches_serial(self):
+        edges, batch = self.mixed_setup()
+        serial = make_engine("order", DynamicGraph(edges), audit=True)
+        serial.apply_batch(batch)
+        expected = serial.core_numbers()
+        regions = batch.partition(
+            DynamicGraph(edges), core=core_numbers(DynamicGraph(edges))
+        )
+        assert len(regions) == 4
+        for permutation in itertools.permutations(range(len(regions))):
+            engine = make_engine("order", DynamicGraph(edges), audit=True)
+            for index in permutation:
+                engine.apply_batch(regions[index])
+            assert engine.core_numbers() == expected
+
+    def test_partitioned_schedule_agrees_and_reports_counters(self):
+        edges, batch = self.mixed_setup(seed=1)
+        plain = make_engine("order", DynamicGraph(edges))
+        plain_result = plain.apply_batch(batch)
+        assert plain_result.counters["regions"] == 1
+        partitioned = make_engine("order", DynamicGraph(edges), partition=True)
+        result = partitioned.apply_batch(batch)
+        assert partitioned.core_numbers() == plain.core_numbers()
+        assert result.counters["regions"] == 4
+        assert result.counters["region_max_size"] == 4
+        assert result.changed == plain_result.changed
+        assert result.visited == plain_result.visited
+
+    @pytest.mark.parametrize("sequence", ["om", "treap"])
+    def test_parallel_schedule_agrees(self, sequence):
+        edges, batch = self.mixed_setup(seed=2)
+        serial = make_engine("order", DynamicGraph(edges), sequence=sequence)
+        serial.apply_batch(batch)
+        parallel = make_engine(
+            "order", DynamicGraph(edges), sequence=sequence,
+            partition=True, parallel=3, audit=True,
+        )
+        result = parallel.apply_batch(batch)
+        assert parallel.core_numbers() == serial.core_numbers()
+        assert parallel.core_numbers() == core_numbers(parallel.graph)
+        parallel.check()
+        assert result.counters["regions"] == 4
+
+    def test_parallel_mixed_batch_with_inserts(self):
+        edges, batch = self.mixed_setup(seed=3)
+        for u, v in [(0, 100), (100, 101), (40, 120)]:
+            batch.insert(u, v)
+        serial = make_engine("order", DynamicGraph(edges))
+        serial.apply_batch(batch)
+        parallel = make_engine(
+            "order", DynamicGraph(edges), parallel=2, audit=True
+        )
+        result = parallel.apply_batch(batch)  # parallel implies partition
+        assert parallel.core_numbers() == serial.core_numbers()
+        assert result.counters["regions"] > 1
+        assert result.inserts == 3 and result.removes == 16
+
+    def test_partitioned_insert_results_keep_batch_op_order(self):
+        """Kept results must zip with the batch's ops even when regions
+        interleave them during application."""
+        graph = two_triangles()
+        edges = [(0, 3), (10, 13), (1, 3), (11, 13)]  # alternating regions
+        engine = make_engine("order", graph, partition=True)
+        result = engine.apply_batch(Batch.inserts(edges))
+        assert result.counters["regions"] == 2
+        # Edges are already in canonical orientation, so kept results
+        # must come back in exactly the batch's op order.
+        assert [r.edge for r in result.results] == edges
+
+    def test_per_call_override_beats_engine_default(self):
+        edges, batch = self.mixed_setup(seed=4)
+        engine = make_engine("order", DynamicGraph(edges), partition=True)
+        result = engine.apply_batch(batch, partition=False)
+        assert result.counters["regions"] == 1
+        assert engine.core_numbers() == core_numbers(engine.graph)

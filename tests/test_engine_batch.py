@@ -323,10 +323,13 @@ class TestBatchResult:
         for result in (first, second):
             expected = {
                 "order_queries", "relabels", "rank_walk_steps",
-                "mcd_recomputations",
+                "mcd_recomputations", "regions", "region_max_size",
             }
             assert set(result.counters) == expected
             assert all(v >= 0 for v in result.counters.values())
+            # Partitioning is off by default: one region spanning the batch.
+            assert result.counters["regions"] == 1
+            assert result.counters["region_max_size"] == result.ops
         # Deltas, not cumulative totals: both batches did comparable
         # work, so neither batch's counters can contain the sum.
         totals = engine._batch_counters()

@@ -113,6 +113,20 @@ class TestDegPlusRepair:
 
 
 class TestMaintainerRemovalBehaviour:
+    def test_invalid_removal_leaves_index_untouched(self):
+        """A removal of an absent edge must fail before any index
+        mutation: deg+ used to be decremented ahead of the graph's
+        validation, leaving the k-order corrupted."""
+        from repro.errors import EdgeNotFoundError
+
+        engine = OrderedCoreMaintainer(
+            DynamicGraph([(1, 2), (2, 3), (3, 4), (1, 3)])
+        )
+        with pytest.raises(EdgeNotFoundError):
+            engine.remove_edge(1, 4)  # both vertices exist, edge absent
+        engine.check()
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
     def test_visited_counts_touched_bounds(self, triangle_graph):
         engine = OrderedCoreMaintainer(triangle_graph)
         result = engine.remove_edge(0, 1)

@@ -1,0 +1,205 @@
+"""Tests for the batch-native removal run (``order_remove_run``).
+
+The contract: one joint cascade per affected ``K``-level plus incremental
+``mcd`` upkeep must leave *exactly* the state the per-edge ``OrderRemoval``
+path leaves — same cores, a valid k-order, ``deg+`` and ``mcd`` exact —
+while charging only one targeted ``mcd`` pass (the disposed set) per run
+instead of a refresh per edge.  The property suite drives random removal
+runs against the per-edge path and the from-scratch oracle under both
+sequence backends.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers, korder_decomposition
+from repro.core.korder import KOrder
+from repro.core.maintainer import OrderedCoreMaintainer, compute_mcd
+from repro.core.removal import order_remove_run
+from repro.engine import Batch, make_engine
+from repro.errors import EdgeNotFoundError
+from repro.graphs.undirected import DynamicGraph
+
+BACKENDS = ("om", "treap")
+
+
+def build_state(edges, vertices=(), sequence="om"):
+    graph = DynamicGraph(edges, vertices=vertices)
+    decomposition = korder_decomposition(graph, policy="small")
+    korder = KOrder.from_decomposition(
+        decomposition, random.Random(0), sequence=sequence
+    )
+    core = dict(decomposition.core)
+    mcd = compute_mcd(graph, core)
+    return graph, korder, core, mcd
+
+
+class TestOrderRemoveRun:
+    @pytest.mark.parametrize("sequence", BACKENDS)
+    def test_single_edge_run_matches_per_edge_semantics(self, sequence):
+        """One-edge runs reproduce the Algorithm 4 outcome exactly."""
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]
+        graph, korder, core, mcd = build_state(edges, sequence=sequence)
+        run = order_remove_run(graph, korder, core, mcd, [(0, 1)])
+        assert run.removed == 1
+        assert set(run.changed) == {0, 1, 2}
+        assert all(delta == -1 for delta in run.changed.values())
+        assert core == core_numbers(graph)
+        korder.audit(graph, core)
+        assert mcd == compute_mcd(graph, core)
+
+    def test_mcd_is_exact_without_any_caller_refresh(self):
+        """The run's whole point: mcd leaves the call already repaired."""
+        edges = [(a, b) for a in range(6) for b in range(a + 1, 6)]
+        graph, korder, core, mcd = build_state(edges)
+        run = order_remove_run(
+            graph, korder, core, mcd, [(0, 1), (2, 3), (4, 5)]
+        )
+        assert mcd == compute_mcd(graph, core)
+        # Targeted accounting: exactly one recomputation per demotion.
+        assert run.recomputed == sum(-d for d in run.changed.values())
+
+    def test_multi_level_demotion_in_one_run(self):
+        """A batch can sink a vertex through several K-levels at once —
+        something no single per-edge removal (|delta| <= 1) can do."""
+        edges = [(a, b) for a in range(6) for b in range(a + 1, 6)]  # K6
+        graph, korder, core, mcd = build_state(edges)
+        assert all(c == 5 for c in core.values())
+        victims = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        run = order_remove_run(graph, korder, core, mcd, victims)
+        assert core == core_numbers(graph)
+        assert all(c == 2 for c in core.values())
+        assert all(delta == -3 for delta in run.changed.values())
+        # The joint cascade walked several levels, highest first.
+        assert list(run.levels) == sorted(run.levels, reverse=True)
+        assert len(run.levels) >= 2
+        korder.audit(graph, core)
+        assert mcd == compute_mcd(graph, core)
+
+    def test_no_cascade_run_costs_no_recomputation(self):
+        """Slack-absorbing removals are pure decrements: the counter that
+        used to grow by ~2 endpoints per edge stays at zero."""
+        # Two squares, each with one diagonal: dropping the diagonals
+        # leaves plain 4-cycles, still 2-cores — no core changes.
+        edges = [
+            (0, 1), (1, 2), (2, 3), (3, 0), (0, 2),
+            (4, 5), (5, 6), (6, 7), (7, 4), (4, 6),
+        ]
+        graph, korder, core, mcd = build_state(edges)
+        run = order_remove_run(graph, korder, core, mcd, [(0, 2), (4, 6)])
+        assert run.changed == {} and run.recomputed == 0
+        assert core == core_numbers(graph)
+        korder.audit(graph, core)
+        assert mcd == compute_mcd(graph, core)
+
+    @pytest.mark.parametrize("sequence", BACKENDS)
+    def test_invalid_edge_mid_run_leaves_index_consistent(self, sequence):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        graph, korder, core, mcd = build_state(edges, sequence=sequence)
+        with pytest.raises(EdgeNotFoundError):
+            order_remove_run(
+                graph, korder, core, mcd, [(0, 1), (7, 8), (2, 3)]
+            )
+        # (0, 1) landed and cascaded; (2, 3) was never reached.
+        assert graph.has_edge(2, 3) and not graph.has_edge(0, 1)
+        assert core == core_numbers(graph)
+        korder.audit(graph, core)
+        assert mcd == compute_mcd(graph, core)
+
+    def test_empty_run(self):
+        graph, korder, core, mcd = build_state([(0, 1)])
+        run = order_remove_run(graph, korder, core, mcd, [])
+        assert run.removed == 0 and run.changed == {} and run.levels == ()
+
+
+class TestRunAgreesWithPerEdgePath:
+    """Property: batch-native runs and the per-edge loop are equivalent."""
+
+    @pytest.mark.parametrize("sequence", BACKENDS)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16), data=st.data())
+    def test_run_matches_per_edge_and_oracle(self, sequence, seed, data):
+        rng = random.Random(seed)
+        n = data.draw(st.integers(min_value=4, max_value=24), label="n")
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        m = data.draw(st.integers(min_value=1, max_value=len(pairs)), label="m")
+        base = pairs[:m]
+        k = data.draw(st.integers(0, min(len(base), 16)), label="removes")
+        victims = rng.sample(base, k)
+
+        batched = make_engine(
+            "order", DynamicGraph(base, vertices=range(n)),
+            seed=seed, audit=True, sequence=sequence,
+        )
+        per_edge = make_engine(
+            "order", DynamicGraph(base, vertices=range(n)),
+            seed=seed, sequence=sequence,
+        )
+        for edge in victims:
+            per_edge.remove_edge(*edge)
+        batched.apply_batch(Batch.removes(victims))
+
+        assert batched.core_numbers() == per_edge.core_numbers()
+        assert batched.core_numbers() == core_numbers(batched.graph)
+        batched.check()  # audits the k-order and the maintained mcd
+        assert dict(batched.mcd) == dict(per_edge.mcd)
+        # The run never does more mcd work than the per-edge refreshes.
+        assert batched.mcd_recomputations <= per_edge.mcd_recomputations
+
+    def test_deep_cascade_crossing_levels_agrees(self):
+        """Nested cliques wired to a path: stripping the bridge edges
+        cascades across three K-levels; both paths must agree."""
+        k5 = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        k3 = [(10, 11), (11, 12), (12, 10)]
+        bridges = [(0, 10), (1, 11), (2, 12), (12, 20)]
+        tail = [(20, 21), (21, 22)]
+        base = k5 + k3 + bridges + tail
+        victims = [(0, 10), (1, 11), (10, 11), (20, 21), (0, 1), (0, 2)]
+        for sequence in BACKENDS:
+            batched = make_engine(
+                "order", DynamicGraph(base), audit=True, sequence=sequence
+            )
+            per_edge = make_engine(
+                "order", DynamicGraph(base), sequence=sequence
+            )
+            for edge in victims:
+                per_edge.remove_edge(*edge)
+            result = batched.apply_batch(Batch.removes(victims))
+            assert batched.core_numbers() == per_edge.core_numbers()
+            batched.check()
+            # Coalesced runs drop per-edge attribution but keep exact
+            # aggregate demotions.
+            assert result.results is None
+            assert result.changed and all(
+                d < 0 for d in result.changed.values()
+            )
+
+    def test_batch_counter_drops_versus_per_edge_loop(self):
+        """Acceptance: per-batch mcd recomputations collapse from
+        O(edges) refresh passes to one targeted pass per run."""
+        rng = random.Random(3)
+        n = 80
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        base = pairs[:800]
+        victims = rng.sample(base, 300)
+        batched = make_engine("order", DynamicGraph(base, vertices=range(n)))
+        per_edge = make_engine("order", DynamicGraph(base, vertices=range(n)))
+        for edge in victims:
+            per_edge.remove_edge(*edge)
+        result = batched.apply_batch(Batch.removes(victims))
+        assert batched.core_numbers() == per_edge.core_numbers()
+        # Per-edge path recomputes at least both endpoints per edge.
+        assert per_edge.mcd_recomputations >= 2 * len(victims)
+        # The run only recomputes demoted vertices.
+        assert result.counters["mcd_recomputations"] < (
+            0.5 * per_edge.mcd_recomputations
+        )

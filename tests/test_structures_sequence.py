@@ -183,6 +183,58 @@ class TestTaggedOrderList:
         assert seq.to_list() == expected
         seq.check_invariants()
 
+    def test_extend_front_preallocates_labels(self):
+        """A whole chain prepended at once reserves one chain-sized label
+        gap instead of bisecting the same gap per item — no relabel
+        storm (ROADMAP's batch-aware label preallocation)."""
+        stats = SequenceStats()
+        seq = TaggedOrderList(stats=stats)
+        seq.extend_back(range(100))
+        chain = [1000 + i for i in range(5000)]
+        seq.extend_front(chain)
+        assert stats.relabels == 0
+        assert seq.to_list() == chain + list(range(100))
+        seq.check_invariants()
+        # The per-item shape of the same bulk load storms: that is the
+        # behaviour the preallocation removes.
+        storm_stats = SequenceStats()
+        storm = TaggedOrderList(stats=storm_stats)
+        storm.extend_back(range(100))
+        previous = None
+        for item in chain:
+            if previous is None:
+                storm.insert_front(item)
+            else:
+                storm.insert_after(previous, item)
+            previous = item
+        assert storm.to_list() == seq.to_list()
+        assert storm_stats.relabels > 0
+
+    def test_extend_front_on_empty_and_tight_front(self):
+        """Chains land correctly on an empty list and when the front gap
+        is smaller than the chain (one spread, then the chain)."""
+        seq = TaggedOrderList()
+        seq.extend_front("abc")
+        assert seq.to_list() == list("abc")
+        seq.check_invariants()
+        # Exhaust the front label space so the chain cannot fit.
+        stats = SequenceStats()
+        tight = TaggedOrderList(stats=stats)
+        tight.extend_back(range(10))
+        for i in range(2000):
+            tight.insert_front(10 + i)
+        front = list(tight)
+        chain = [-1, -2, -3, *range(100000, 103000)]
+        before = stats.relabels
+        tight.extend_front(chain)
+        assert stats.relabels <= before + 1
+        assert tight.to_list() == chain + front
+        tight.check_invariants()
+        with pytest.raises(ValueError):
+            tight.extend_front([-1])
+        with pytest.raises(ValueError):
+            tight.extend_front(["x", "x"])
+
     def test_front_storm(self):
         """Prepend hammering exhausts the leading gap the same way."""
         stats = SequenceStats()
