@@ -1,18 +1,18 @@
-"""The batch pipeline: one engine API for mixed insert/remove batches.
+"""The batch pipeline through the service façade.
 
 Builds a Fig. 12-style mixed update stream (insertions interleaved with
 random removals), chunks it into batches, and replays it twice on the
-order-based engine — once per edge, once through ``apply_batch`` — then
+order-based engine — once per edge, once as transactional commits — then
 shows the naive engine turning the same batches into one recomputation
 each.  The point to watch: identical final core numbers, far less ``mcd``
-repair work, and every engine reached through ``make_engine``.
+repair work, and every session opened through ``CoreService``.
 
 Run:  python examples/batch_pipeline.py
 """
 
 import time
 
-from repro import Batch, load_dataset, make_engine
+from repro import Batch, CoreService, load_dataset
 from repro.bench.workloads import mixed_batch_workload
 
 
@@ -26,68 +26,69 @@ def main() -> None:
         f"plan of {len(plan)} mixed ops in {len(batches)} batches"
     )
 
-    # Per-edge replay: one mcd repair per update.
-    per_edge = make_engine("order", workload.base_graph(), seed=13)
+    # Per-edge replay: one one-op commit (and one mcd repair) per update.
+    per_edge = CoreService.open(workload.base_graph(), seed=13)
     started = time.perf_counter()
     for kind, (u, v) in plan:
-        op = per_edge.insert_edge if kind == "insert" else per_edge.remove_edge
+        op = per_edge.insert if kind == "insert" else per_edge.remove
         op(u, v)
     per_edge_seconds = time.perf_counter() - started
 
     # Batched replay: mcd repair coalesced per same-kind run.
-    batched = make_engine("order", workload.base_graph(), seed=13)
+    batched = CoreService.open(workload.base_graph(), seed=13)
     started = time.perf_counter()
     for batch in batches:
-        batched.apply_batch(batch)
+        batched.apply(batch)
     batched_seconds = time.perf_counter() - started
 
-    assert per_edge.core_numbers() == batched.core_numbers()
+    assert per_edge.cores() == batched.cores()
     print(
         f"order  per-edge: {per_edge_seconds:.3f}s, "
-        f"{per_edge.mcd_recomputations} mcd recomputations"
+        f"{per_edge.engine.mcd_recomputations} mcd recomputations"
     )
     print(
         f"order  batched : {batched_seconds:.3f}s, "
-        f"{batched.mcd_recomputations} mcd recomputations "
+        f"{batched.engine.mcd_recomputations} mcd recomputations "
         f"(same final core numbers)"
     )
 
     # The order engine defaults to the OM-list sequence backend: order
     # tests are O(1) label compares, never rank walks.  The treap backend
-    # stays selectable (sequence="treap" / engine name "order-treap").
-    stats = batched.sequence_stats
-    treap = make_engine("order-treap", workload.base_graph(), seed=13)
+    # stays selectable (engine="order-treap").
+    stats = batched.engine.sequence_stats
+    treap = CoreService.open(workload.base_graph(), engine="order-treap", seed=13)
     for batch in batches:
-        treap.apply_batch(batch)
-    assert treap.core_numbers() == batched.core_numbers()
+        treap.apply(batch)
+    assert treap.cores() == batched.cores()
     print(
         f"order  om backend   : {stats.order_queries} order queries, "
         f"{stats.rank_walk_steps} rank-walk steps, {stats.relabels} relabels"
     )
     print(
-        f"order  treap backend: {treap.sequence_stats.order_queries} order "
-        f"queries, {treap.sequence_stats.rank_walk_steps} rank-walk steps"
+        f"order  treap backend: "
+        f"{treap.engine.sequence_stats.order_queries} order queries, "
+        f"{treap.engine.sequence_stats.rank_walk_steps} rank-walk steps"
     )
 
     # The naive engine runs CoreDecomp once per *batch*, not per edge.
-    naive = make_engine("naive", workload.base_graph())
+    naive = CoreService.open(workload.base_graph(), engine="naive")
     started = time.perf_counter()
     for batch in batches:
-        result = naive.apply_batch(batch)
+        naive.apply(batch)
     naive_seconds = time.perf_counter() - started
-    assert naive.core_numbers() == batched.core_numbers()
+    assert naive.cores() == batched.cores()
     print(
         f"naive  batched : {naive_seconds:.3f}s, "
-        f"{naive.recomputations} recomputations for {len(plan)} ops"
+        f"{naive.engine.recomputations} recomputations for {len(plan)} ops"
     )
 
     # Batches are first-class values: build them directly, too.
     demo = Batch.inserts([("a", "b"), ("b", "c"), ("c", "a")]).remove("a", "b")
-    engine = make_engine("trav-2", workload.base_graph())
-    summary = engine.apply_batch(demo)
+    svc = CoreService.open(workload.base_graph(), engine="trav-2")
+    receipt = svc.apply(demo)
     print(
-        f"trav-2 ad-hoc batch: {summary.ops} ops, "
-        f"net |V*|={summary.total_changed}, {summary.seconds:.4f}s"
+        f"trav-2 ad-hoc batch: {receipt.ops} ops, "
+        f"net |V*|={len(receipt.deltas)}, {receipt.seconds:.4f}s"
     )
 
 

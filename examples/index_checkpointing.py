@@ -1,10 +1,12 @@
-"""Checkpoint and restore the maintained index across "restarts".
+"""Checkpoint and restore a CoreService session across "restarts".
 
 Index creation is the one-time cost of adopting core maintenance
 (Table III of the paper).  A long-lived service amortizes it once and then
-snapshots the maintained state: graph + k-order + deg+ + mcd.  Restoring
-validates every invariant before going live, so a corrupt checkpoint fails
-fast instead of silently corrupting future updates.
+checkpoints the maintained state: graph + k-order + deg+ + mcd.
+``CoreService.load`` validates every invariant before going live, so a
+corrupt checkpoint fails fast instead of silently corrupting future
+updates — and the restored session subscribes and commits like the
+original.
 
 Run:  python examples/index_checkpointing.py
 """
@@ -13,48 +15,51 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import DynamicGraph, OrderedCoreMaintainer, load_dataset
-from repro.core.snapshot import load_snapshot, save_snapshot
+from repro import CoreService, load_dataset
 
 
 def main() -> None:
     dataset = load_dataset("livejournal", scale=0.6, seed=21)
 
     started = time.perf_counter()
-    engine = OrderedCoreMaintainer(DynamicGraph(dataset.edges))
+    svc = CoreService.open(dataset.edges)
     build_seconds = time.perf_counter() - started
     print(f"cold index build: {build_seconds:.3f}s "
-          f"(n={engine.graph.n}, m={engine.graph.m})")
+          f"(n={svc.graph.n}, m={svc.graph.m})")
 
     # Serve some traffic, then checkpoint.
     churn = dataset.edges[:200]
-    for u, v in churn:
-        engine.remove_edge(u, v)
-    for u, v in churn[:120]:
-        engine.insert_edge(u, v)
+    with svc.transaction() as tx:
+        tx.remove_many(churn)
+    with svc.transaction() as tx:
+        tx.insert_many(churn[:120])
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "core-index.json"
         started = time.perf_counter()
-        save_snapshot(engine, path)
+        svc.save(path)
         print(f"checkpoint written in {time.perf_counter() - started:.3f}s "
               f"({path.stat().st_size / 1024:.0f} KiB)")
 
         # "Restart": restore instead of rebuilding.
         started = time.perf_counter()
-        restored = load_snapshot(path)  # audits invariants on load
+        restored = CoreService.load(path)  # audits invariants on load
         restore_seconds = time.perf_counter() - started
         print(f"restore + audit: {restore_seconds:.3f}s")
 
-        assert restored.core_numbers() == engine.core_numbers()
-        # The restored engine picks up exactly where the old one stopped.
-        for u, v in churn[120:]:
-            restored.insert_edge(u, v)
+        assert restored.cores() == svc.cores()
+        # The restored service resumes exactly where the old one stopped
+        # — including live event subscriptions.
+        promotions = []
+        restored.subscribe(promotions.append)
+        with restored.transaction() as tx:
+            tx.insert_many(churn[120:])
         print(
-            "restored engine resumed updates; degeneracy "
-            f"{restored.degeneracy()}, all invariants hold"
+            "restored service resumed updates; degeneracy "
+            f"{restored.degeneracy()}, {len(promotions)} core events "
+            "delivered, all invariants hold"
         )
-        restored.check()
+        restored.engine.check()
 
 
 if __name__ == "__main__":

@@ -1,38 +1,54 @@
-"""Quickstart: maintain k-cores of a small evolving graph.
+"""Quickstart: a CoreService session over a small evolving graph.
+
+Open a session, commit updates transactionally, query k-cores, and react
+to core changes through the event stream — the full façade in one page.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DynamicGraph, OrderedCoreMaintainer
+from repro import CoreService
 
 
 def main() -> None:
     # A triangle with a pendant vertex.
-    graph = DynamicGraph([(0, 1), (1, 2), (2, 0), (2, 3)])
-    maintainer = OrderedCoreMaintainer(graph)
+    svc = CoreService.open([(0, 1), (1, 2), (2, 0), (2, 3)])
 
-    print("initial core numbers:", maintainer.core_numbers())
+    print("initial core numbers:", svc.cores())
     # {0: 2, 1: 2, 2: 2, 3: 1} — the triangle is a 2-core, vertex 3 hangs off.
 
-    # Close the square 0-3: vertex 3 now has two neighbors in the 2-core.
-    result = maintainer.insert_edge(3, 0)
-    print(f"insert (3, 0): V* = {result.changed}, visited {result.visited}")
-    print("core numbers:", maintainer.core_numbers())
+    # React to every core change as it commits.
+    events = svc.subscribe(
+        lambda e: print(f"  event: {e.vertex} {e.old_core} -> {e.new_core}")
+    )
 
-    # Densify: every insertion repairs cores in time ~|V*|, not |V|.
-    for edge in [(1, 3), (0, 4), (1, 4), (3, 4)]:
-        result = maintainer.insert_edge(*edge)
-        print(f"insert {edge}: V* = {result.changed}")
-    print("degeneracy:", maintainer.degeneracy())
-    print("3-core:", sorted(maintainer.k_core(3)))
+    # Close the square 0-3: vertex 3 now has two neighbors in the 2-core.
+    receipt = svc.insert(3, 0)
+    print(f"insert (3, 0): deltas {dict(receipt.deltas)}")
+
+    # Densify atomically: one transaction, one engine batch, one receipt.
+    with svc.transaction() as tx:
+        tx.insert(1, 3).insert(0, 4).insert(1, 4).insert(3, 4)
+    print(f"transaction committed {tx.receipt.ops} inserts "
+          f"({tx.receipt.promotions} promotions)")
+
+    print("degeneracy:", svc.degeneracy())
+    print("3-core:", sorted(svc.kcore(3)))
+    print("top vertices:", svc.top(3))
 
     # Edges can leave too; vertex 4 falls back out of the 3-core.
-    result = maintainer.remove_edge(3, 4)
-    print(f"remove (3, 4): V* = {result.changed}")
-    print("final core numbers:", maintainer.core_numbers())
+    receipt = svc.remove(3, 4)
+    print(f"remove (3, 4): deltas {dict(receipt.deltas)}")
+    events.close()
+    print("final core numbers:", svc.cores())
 
-    # The maintained k-order is always a valid CoreDecomp removal order.
-    print("maintained k-order:", maintainer.order())
+    # A transaction that fails rolls back without touching the engine.
+    try:
+        with svc.transaction() as tx:
+            tx.insert(7, 8)
+            raise RuntimeError("caller changed its mind")
+    except RuntimeError:
+        pass
+    print("after rollback, (7, 8) absent:", svc.core(7, None) is None)
 
 
 if __name__ == "__main__":

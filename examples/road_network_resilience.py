@@ -2,16 +2,17 @@
 
 The removal-heavy counterpart to the insertion examples: roads fail
 (randomly, or targeted at the densest interchanges) and ``OrderRemoval``
-repairs core numbers after every failure.  The coreness profile of a road
-network is shallow (max k = 3), so watch how quickly targeted failures
-flatten it compared to random ones.
+repairs core numbers after every failure.  Sessions open through the
+service façade; the coreness spectrum before and after comes from the
+query layer.  The coreness profile of a road network is shallow
+(max k = 3), so watch how quickly targeted failures flatten it compared
+to random ones.
 
 Run:  python examples/road_network_resilience.py
 """
 
-from repro import DynamicGraph, OrderedCoreMaintainer, load_dataset
+from repro import CoreService, load_dataset
 from repro.applications.resilience import core_resilience_profile
-from repro.analysis.kcore_views import core_spectrum
 
 
 def main() -> None:
@@ -19,12 +20,12 @@ def main() -> None:
     failures = dataset.graph().m // 4
 
     for mode in ("random", "targeted"):
-        maintainer = OrderedCoreMaintainer(DynamicGraph(dataset.edges))
-        before = core_spectrum(maintainer.core_numbers())
+        svc = CoreService.open(dataset.edges)
+        before = svc.spectrum()
         profile = core_resilience_profile(
-            maintainer, failures, mode=mode, seed=3
+            svc.engine, failures, mode=mode, seed=3
         )
-        after = core_spectrum(maintainer.core_numbers())
+        after = svc.spectrum()
         print(f"--- {mode} failures ({profile.steps()} edges removed) ---")
         print(f"  core spectrum before: {dict(sorted(before.items()))}")
         print(f"  core spectrum after:  {dict(sorted(after.items()))}")

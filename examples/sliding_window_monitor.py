@@ -2,9 +2,15 @@
 
 A timestamped activity stream (the gowalla stand-in replayed as check-in
 ties) flows through a sliding window: an interaction counts for a fixed
-horizon, then expires.  Every arrival and expiry is a single incremental
-core update — this is the deployment shape the paper's streaming
-motivation describes.
+horizon, then expires.  The monitor drives a ``CoreService`` session, so
+arrivals and expiries commit as transactions and its promotion/demotion
+statistics are plain event subscribers.
+
+The replay is fed at the stream's **tick granularity**: the stand-in's
+timestamps are dense event indices, so ``TemporalEdgeStream.ticks``
+buckets them into bursts of ``TICK`` time units, and each burst reaches
+the engine as *one* batch through ``observe_many`` — one commit per
+tick, however many ties arrive together.
 
 Run:  python examples/sliding_window_monitor.py
 """
@@ -12,28 +18,36 @@ Run:  python examples/sliding_window_monitor.py
 from repro import load_dataset
 from repro.streaming import SlidingWindowCoreMonitor
 
+#: Width of one arrival tick: every edge whose timestamp falls in the
+#: same TICK-wide bucket lands on the engine as a single batch.
+TICK = 25.0
+
 
 def main() -> None:
     dataset = load_dataset("gowalla", scale=0.4, seed=13)
-    # Replay with one edge per tick and a window of 1,500 ticks.
+    stream = dataset.stream()
+    # A window of 1,500 ticks over the check-in stream.
     monitor = SlidingWindowCoreMonitor(window=1500.0)
-    report_every = max(1, len(dataset.edges) // 8)
-    for t, (u, v) in enumerate(dataset.edges):
-        monitor.observe(u, v, float(t))
-        if (t + 1) % report_every == 0:
+    ticks = list(stream.ticks(every=TICK))
+    report_every = max(1, len(ticks) // 8)
+    for i, (t, edges) in enumerate(ticks):
+        monitor.observe_many(edges, t)
+        if (i + 1) % report_every == 0:
             top = monitor.degeneracy()
             hot = monitor.k_core(top)
             print(
-                f"t={t + 1:6d}: {monitor.live_edges():5d} live ties | "
+                f"t={t:7.0f}: {monitor.live_edges():5d} live ties | "
                 f"hottest core k={top:2d} with {len(hot):3d} users | "
                 f"{monitor.stats.promotions} promotions, "
                 f"{monitor.stats.demotions} demotions so far"
             )
     removed = monitor.drain()
+    commits = monitor.service.last_receipt.receipt_id
     print(
         f"stream over: drained {removed} remaining ties; totals — "
         f"{monitor.stats.arrivals} arrivals, {monitor.stats.refreshes} "
-        f"refreshes, {monitor.stats.expiries} expiries"
+        f"refreshes, {monitor.stats.expiries} expiries in "
+        f"{commits} service commits ({len(ticks)} arrival ticks)"
     )
 
 

@@ -1,14 +1,15 @@
 """Who is in the densest collaboration core, month by month?
 
 A DBLP-style temporal collaboration network: papers arrive in timestamp
-order and every paper adds a clique among its authors.  We maintain core
-numbers incrementally and watch the "elite" core — the max-k core — grow
-and shift, plus an approximate densest subgroup.
+order and every paper adds a clique among its authors.  Each epoch of
+collaborations commits as one service transaction, a subscriber tallies
+promotions, and the "elite" core — the max-k core — is read straight
+from the query layer, alongside an approximate densest subgroup.
 
 Run:  python examples/temporal_collaboration.py
 """
 
-from repro import OrderedCoreMaintainer, load_dataset
+from repro import CoreService, load_dataset
 from repro.applications.densest import dynamic_densest
 
 
@@ -17,8 +18,8 @@ def main() -> None:
     stream = dataset.stream()
     # Start from the first 60% of history, stream in the remaining 40%.
     split = int(len(stream) * 0.6)
-    maintainer = OrderedCoreMaintainer(stream.graph_before(split))
-    densest = dynamic_densest(maintainer)
+    svc = CoreService.open(stream.graph_before(split))
+    densest = dynamic_densest(svc.engine)
 
     _, future = stream.split_at(split)
     epochs = 8
@@ -26,11 +27,13 @@ def main() -> None:
     print(f"replaying {len(future)} collaborations in {epochs} epochs")
     for epoch in range(epochs):
         chunk = future[epoch * per_epoch : (epoch + 1) * per_epoch]
-        promoted = 0
-        for u, v in chunk:
-            promoted += len(maintainer.insert_edge(u, v).changed)
-        top = maintainer.degeneracy()
-        elite = maintainer.k_core(top)
+        with svc.transaction() as tx:
+            for u, v in chunk:
+                if not svc.graph.has_edge(u, v):
+                    tx.insert(u, v)
+        promoted = tx.receipt.promotions
+        top = svc.degeneracy()
+        elite = svc.kcore(top)
         dens_set, dens = densest.current()
         print(
             f"epoch {epoch + 1}: +{len(chunk):4d} edges, "

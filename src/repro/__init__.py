@@ -8,6 +8,20 @@ A from-scratch Python reproduction of
 The library maintains the core number of every vertex of an undirected
 graph under edge (and vertex) insertions and removals.
 
+The service façade
+------------------
+:class:`~repro.service.CoreService` is the public entry point: a
+long-lived session that commits updates transactionally, answers k-core
+queries, and streams :class:`~repro.service.CoreEvent` records to
+subscribers (see the top-level README for the full tour):
+
+>>> from repro import CoreService
+>>> svc = CoreService.open([(0, 1), (1, 2), (2, 0)])
+>>> with svc.transaction() as tx:
+...     _ = tx.insert(0, 3).insert(1, 3)
+>>> svc.core(3), svc.degeneracy()
+(2, 2)
+
 The engine layer
 ----------------
 Three engines implement one interface
@@ -76,13 +90,17 @@ from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.temporal import TemporalEdgeStream
 from repro.graphs.undirected import DynamicGraph
 from repro.naive.maintainer import NaiveCoreMaintainer
+from repro.service import CommitReceipt, CoreEvent, CoreService
 from repro.streaming import SlidingWindowCoreMonitor
 from repro.traversal.maintainer import TraversalCoreMaintainer
 
 __all__ = [
     "Batch",
     "BatchResult",
+    "CommitReceipt",
+    "CoreEvent",
     "CoreMaintainer",
+    "CoreService",
     "DynamicGraph",
     "NaiveCoreMaintainer",
     "OrderedCoreMaintainer",

@@ -2,13 +2,17 @@
 
 These are the read-side products that make core maintenance useful —
 the paper's motivating applications (community search, visualization,
-topology analysis) all consume them.
+topology analysis) all consume them.  :class:`repro.service.CoreService`
+answers every query through this module, so reads never reach into
+maintainer internals.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping
+import heapq
+from typing import Hashable, Iterator, Mapping, Optional
 
+from repro.engine.batch import vertex_sort_key
 from repro.graphs.undirected import DynamicGraph
 
 Vertex = Hashable
@@ -17,6 +21,84 @@ Vertex = Hashable
 def k_core_vertices(core: Mapping[Vertex, int], k: int) -> set[Vertex]:
     """Vertices of the ``k``-core (``core(v) >= k``)."""
     return {v for v, c in core.items() if c >= k}
+
+
+class KCoreView:
+    """A lazy, *live* membership view of one ``k``-core.
+
+    Wraps a core-number mapping (typically an engine's read-only ``core``
+    accessor) without copying it: membership tests are O(1) lookups,
+    iteration and ``len`` scan on demand, and the view always reflects
+    the mapping's **current** state — commit an update and the same view
+    answers for the new cores.  Call :meth:`vertices` to pin a frozen
+    set, or :meth:`subgraph` for the induced graph.
+    """
+
+    __slots__ = ("_core", "_k", "_graph")
+
+    def __init__(
+        self,
+        core: Mapping[Vertex, int],
+        k: int,
+        graph: Optional[DynamicGraph] = None,
+    ) -> None:
+        self._core = core
+        self._k = k
+        self._graph = graph
+
+    @property
+    def k(self) -> int:
+        """The view's core level."""
+        return self._k
+
+    def __contains__(self, vertex: object) -> bool:
+        c = self._core.get(vertex)
+        return c is not None and c >= self._k
+
+    def __iter__(self) -> Iterator[Vertex]:
+        k = self._k
+        return (v for v, c in self._core.items() if c >= k)
+
+    def __len__(self) -> int:
+        k = self._k
+        return sum(1 for c in self._core.values() if c >= k)
+
+    def __bool__(self) -> bool:
+        return any(True for _ in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KCoreView(k={self._k}, size={len(self)})"
+
+    def vertices(self) -> set[Vertex]:
+        """Materialize the current membership as a frozen-in-time set."""
+        return set(self)
+
+    def subgraph(self) -> DynamicGraph:
+        """The ``k``-core as an induced subgraph of the view's graph."""
+        if self._graph is None:
+            raise ValueError(
+                "this KCoreView was built without a graph; "
+                "use k_core_subgraph(graph, core, k) instead"
+            )
+        return self._graph.subgraph(self.vertices())
+
+
+def top_cores(
+    core: Mapping[Vertex, int], n: int
+) -> list[tuple[Vertex, int]]:
+    """The ``n`` vertices with the highest core numbers.
+
+    Returns ``(vertex, core)`` pairs in descending core order; ties are
+    broken by the stable :func:`~repro.engine.batch.vertex_sort_key`, so
+    the answer is deterministic for any vertex types.  A heap selection
+    (``O(N log n)``), not a full sort — this is a per-query read on the
+    service's hot path.
+    """
+    if n <= 0:
+        return []
+    return heapq.nsmallest(
+        n, core.items(), key=lambda item: (-item[1], vertex_sort_key(item[0]))
+    )
 
 
 def k_core_subgraph(

@@ -1,7 +1,7 @@
 """Aggregation of per-update measurements across a workload.
 
 The experiments repeatedly need the same reductions over a stream of
-:class:`~repro.core.base.UpdateResult` + wall-clock samples: totals,
+:class:`~repro.engine.base.UpdateResult` + wall-clock samples: totals,
 visited/changed ratios (Fig. 2), visited-size histograms (Fig. 1) and
 accumulated times (Table II).  :class:`UpdateLog` collects them once.
 """
@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.analysis.distributions import FIG1_BOUNDS, bucket_proportions, ratio_sum
-from repro.core.base import UpdateResult
+from repro.engine.base import UpdateResult
 
 
 @dataclass

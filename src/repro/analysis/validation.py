@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
-from repro.core.base import CoreMaintainer
+from repro.engine.base import CoreMaintainer
 from repro.core.decomposition import core_numbers
 from repro.graphs.undirected import DynamicGraph
 

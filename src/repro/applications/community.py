@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional
 
-from repro.core.base import CoreMaintainer
+from repro.engine.base import CoreMaintainer
 from repro.errors import VertexNotFoundError
 
 Vertex = Hashable

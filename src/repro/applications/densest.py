@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.base import CoreMaintainer
+from repro.engine.base import CoreMaintainer
 from repro.core.decomposition import korder_decomposition
 from repro.graphs.undirected import DynamicGraph
 

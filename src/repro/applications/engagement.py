@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping
 
-from repro.core.base import CoreMaintainer
+from repro.engine.base import CoreMaintainer
 from repro.graphs.undirected import DynamicGraph
 
 Vertex = Hashable

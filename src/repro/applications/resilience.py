@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
-from repro.core.base import CoreMaintainer
+from repro.engine.base import CoreMaintainer
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]

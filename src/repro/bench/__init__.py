@@ -19,6 +19,7 @@ from repro.bench.workloads import (
 )
 from repro.bench.runner import (
     build_engine,
+    build_service,
     run_batches,
     run_mixed,
     run_updates,
@@ -29,6 +30,7 @@ __all__ = [
     "UpdateWorkload",
     "batches_from_plan",
     "build_engine",
+    "build_service",
     "grouped_stream",
     "make_workload",
     "mixed_batch_workload",

@@ -31,13 +31,13 @@ from typing import Optional, Sequence
 
 from repro.analysis.distributions import (
     FIG1_LABELS,
-    bucket_proportions,
     cumulative_distribution,
 )
 from repro.analysis.metrics import UpdateLog
 from repro.analysis.subcore import order_core, pure_core, sub_core
 from repro.bench.runner import (
     build_engine,
+    build_service,
     run_batches,
     run_mixed,
     run_updates,
@@ -538,14 +538,16 @@ def batch_throughput(
             engine_name, workload.base_graph(), seed=seed, **opts
         )
         per_edge_log = run_mixed(per_edge, plan)
-        batched = build_engine(
+        # The batched replay goes through the service façade — the path
+        # every production consumer takes (commits, receipts, events).
+        batched = build_service(
             engine_name, workload.base_graph(), seed=seed, **opts
         )
         results = run_batches(batched, batches)
-        assert per_edge.core_numbers() == batched.core_numbers(), (
+        assert per_edge.core_numbers() == batched.cores(), (
             f"{engine_name}: batched replay diverged from per-edge replay"
         )
-        stats = getattr(batched, "sequence_stats", None)
+        stats = getattr(batched.engine, "sequence_stats", None)
         rows.append(
             BatchThroughputRow(
                 engine=engine_name,
@@ -553,7 +555,9 @@ def batch_throughput(
                 per_edge_seconds=per_edge_log.total_seconds,
                 batched_seconds=sum(r.seconds for r in results),
                 mcd_per_edge=getattr(per_edge, "mcd_recomputations", None),
-                mcd_batched=getattr(batched, "mcd_recomputations", None),
+                mcd_batched=getattr(
+                    batched.engine, "mcd_recomputations", None
+                ),
                 order_queries=stats.order_queries if stats else None,
                 rank_walk_steps=stats.rank_walk_steps if stats else None,
                 relabels=stats.relabels if stats else None,

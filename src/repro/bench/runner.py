@@ -1,15 +1,23 @@
-"""Timed update replay (per-edge and batched) over registry engines."""
+"""Timed update replay (per-edge and batched) over service sessions.
+
+Engines are constructed through the service façade
+(:func:`build_service` → :class:`repro.service.CoreService`); the
+per-edge replay helpers time the paper's update algorithms directly on
+``service.engine``, while batched replays go through the façade's
+commit path.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable, Sequence, Union
 
 from repro.analysis.metrics import UpdateLog
 from repro.engine.base import CoreMaintainer
 from repro.engine.batch import Batch, BatchResult
-from repro.engine.registry import available_engines, make_engine
+from repro.engine.registry import available_engines
 from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreService
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
@@ -20,17 +28,27 @@ Edge = tuple[Vertex, Vertex]
 ENGINE_NAMES = tuple(n for n in available_engines() if n != "trav")
 
 
+def build_service(
+    name: str, graph: DynamicGraph, seed: int = 0, **opts
+) -> CoreService:
+    """Open a :class:`~repro.service.CoreService` session by engine name.
+
+    The bench drivers' one construction path — extra keyword options
+    (``sequence``, ``partition``, ``parallel``, …) pass through to the
+    engine factory, which rejects the ones it does not understand.
+    """
+    return CoreService.open(graph, engine=name, seed=seed, **opts)
+
+
 def build_engine(
     name: str, graph: DynamicGraph, seed: int = 0, **opts
 ) -> CoreMaintainer:
-    """Instantiate a maintenance engine by registry name.
+    """Instantiate a bare maintenance engine by registry name.
 
-    Thin wrapper over :func:`repro.engine.registry.make_engine`, kept so
-    existing bench call sites (and their ``seed`` convention) still work.
-    Extra keyword options (``sequence``, ``partition``, ``parallel``, …)
-    pass straight through to the engine factory.
+    Kept for per-edge measurement call sites (and their ``seed``
+    convention); equivalent to ``build_service(...).engine``.
     """
-    return make_engine(name, graph, seed=seed, **opts)
+    return build_service(name, graph, seed=seed, **opts).engine
 
 
 def run_updates(
@@ -74,15 +92,20 @@ def run_mixed(
 
 
 def run_batches(
-    maintainer: CoreMaintainer,
+    target: Union[CoreService, CoreMaintainer],
     batches: Sequence[Batch],
 ) -> list[BatchResult]:
-    """Replay a sequence of batches through the engine's batch pipeline.
+    """Replay a sequence of batches through the batch pipeline.
 
-    Each :class:`BatchResult` carries its own wall time; total replay time
+    ``target`` is a :class:`~repro.service.CoreService` (one façade
+    commit per batch — receipts minted, subscribers notified) or a bare
+    engine (raw ``apply_batch``, the overhead-bench baseline).  Each
+    :class:`BatchResult` carries its own wall time; total replay time
     is ``sum(r.seconds for r in results)``.
     """
-    return [maintainer.apply_batch(batch) for batch in batches]
+    if isinstance(target, CoreService):
+        return [target.apply(batch).result for batch in batches]
+    return [target.apply_batch(batch) for batch in batches]
 
 
 def time_index_build(

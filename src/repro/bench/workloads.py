@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Sequence
+from typing import Hashable, Sequence
 
 from repro.engine.batch import Batch
 from repro.errors import WorkloadError

@@ -237,20 +237,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.experiment == "validate":
         from repro.analysis.validation import validate_maintainer
-        from repro.bench.runner import build_engine, run_updates
         from repro.bench.workloads import make_workload
         from repro.graphs.datasets import load_dataset
+        from repro.service import CoreService
+
+        from repro.bench.runner import run_updates
 
         failures = 0
         for name in names:
             dataset = load_dataset(name, scale=args.scale, seed=args.seed)
             workload = make_workload(dataset, args.updates, seed=args.seed)
-            engine = build_engine(args.engine, workload.base_graph(), seed=args.seed)
-            run_updates(engine, workload.update_edges, "insert")
-            run_updates(
-                engine, list(reversed(workload.update_edges)), "remove"
+            service = CoreService.open(
+                workload.base_graph(), engine=args.engine, seed=args.seed
             )
-            report = validate_maintainer(engine)
+            # Per-edge replay on service.engine on purpose: validate
+            # exercises the paper's per-edge OrderInsert/OrderRemoval
+            # paths, which the batch pipeline's coalesced runs bypass.
+            run_updates(service.engine, workload.update_edges, "insert")
+            run_updates(
+                service.engine,
+                list(reversed(workload.update_edges)),
+                "remove",
+            )
+            report = validate_maintainer(service.engine)
             status = "ok" if report.ok else "FAILED"
             print(f"{name}: {status}")
             if not report.ok:

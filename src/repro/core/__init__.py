@@ -12,7 +12,7 @@ Public entry points:
   engine (``OrderInsert`` / ``OrderRemoval``).
 """
 
-from repro.core.base import CoreMaintainer, UpdateResult
+from repro.engine.base import CoreMaintainer, UpdateResult
 from repro.core.decomposition import (
     KOrderDecomposition,
     core_numbers,

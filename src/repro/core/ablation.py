@@ -140,7 +140,7 @@ class ScanningOrderedCoreMaintainer:
         return self._inner.core_numbers()
 
     def insert_edge(self, u: Vertex, v: Vertex):
-        from repro.core.base import UpdateResult
+        from repro.engine.base import UpdateResult
 
         inner = self._inner
         for endpoint in (u, v):

@@ -1,17 +1,29 @@
-"""Compatibility shim: the engine interface moved to :mod:`repro.engine`.
+"""Deprecated compatibility shim: the engine interface lives in
+:mod:`repro.engine`.
 
-:class:`CoreMaintainer` and :class:`UpdateResult` now live in
+:class:`CoreMaintainer` and :class:`UpdateResult` moved to
 :mod:`repro.engine.base` alongside the batch pipeline and the engine
 registry; import them from there (or from :mod:`repro.engine`).  This
 module re-exports them so existing ``from repro.core.base import …``
-call sites keep working unchanged.
+call sites keep working, but importing it now emits a
+``DeprecationWarning`` — no in-repo code uses it anymore, and it will be
+removed once external callers have had a release to migrate.
 """
+
+import warnings
 
 from repro.engine.base import (  # noqa: F401
     CoreMaintainer,
     Edge,
     UpdateResult,
     Vertex,
+)
+
+warnings.warn(
+    "repro.core.base is deprecated; import CoreMaintainer/UpdateResult "
+    "from repro.engine.base (or repro.engine) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["CoreMaintainer", "Edge", "UpdateResult", "Vertex"]

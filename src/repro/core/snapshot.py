@@ -81,7 +81,7 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
     # Rebuild state without triggering a fresh decomposition.
     import random
 
-    from repro.core.base import CoreMaintainer
+    from repro.engine.base import CoreMaintainer
     from repro.core.korder import DEFAULT_SEQUENCE, KOrder
 
     maintainer = OrderedCoreMaintainer.__new__(OrderedCoreMaintainer)

@@ -48,12 +48,24 @@ REMOVE = "remove"
 _KINDS = (INSERT, REMOVE)
 
 
+def vertex_sort_key(vertex: Vertex) -> tuple[str, str]:
+    """A total-order key over arbitrary (possibly mixed-type) vertices.
+
+    ``(type name, repr)`` — stable across runs and comparable between any
+    two vertices, which raw vertex comparison is not.  Shared by edge
+    normalization, deterministic event ordering
+    (:mod:`repro.service.events`) and top-``n`` tie-breaking
+    (:func:`repro.analysis.kcore_views.top_cores`).
+    """
+    return (type(vertex).__name__, repr(vertex))
+
+
 def normalize_edge(u: Vertex, v: Vertex) -> Edge:
     """Canonical orientation of an undirected edge.
 
     Prefers the vertices' own ordering (``u < v``); for incomparable or
-    mixed-type vertices it falls back to the stable key
-    ``(type name, repr)``.  Equal endpoints (self loops) raise
+    mixed-type vertices it falls back to the stable
+    :func:`vertex_sort_key`.  Equal endpoints (self loops) raise
     :class:`~repro.errors.SelfLoopError`.  Unlike ordering by bare
     ``repr``, equal vertices always normalize identically regardless of
     how their ``repr`` is formatted.
@@ -67,9 +79,7 @@ def normalize_edge(u: Vertex, v: Vertex) -> Edge:
             return (v, u)
     except TypeError:
         pass
-    ku = (type(u).__name__, repr(u))
-    kv = (type(v).__name__, repr(v))
-    return (u, v) if ku <= kv else (v, u)
+    return (u, v) if vertex_sort_key(u) <= vertex_sort_key(v) else (v, u)
 
 
 @dataclass(frozen=True)
@@ -186,6 +196,37 @@ class Batch:
     def edges(self, kind: str) -> list[Edge]:
         """The edges of every op of ``kind``, in batch order."""
         return [op.edge for op in self._ops if op.kind == kind]
+
+    def check_applicable(self, graph) -> None:
+        """Raise :class:`~repro.errors.BatchError` unless every op is
+        valid when the batch is replayed in op order against ``graph``.
+
+        An insert must target an absent edge, a removal a present one —
+        tracked through the batch's own earlier ops, so histories like
+        remove-then-reinsert validate correctly.  O(len(batch)) adjacency
+        lookups.  The service façade calls this before every commit so
+        an invalid op aborts the whole batch instead of landing a prefix
+        of it; raw ``engine.apply_batch`` callers who want the same
+        atomicity call it themselves (engines keep their documented
+        partial-failure semantics on mid-batch errors).
+        """
+        overlay: dict[Edge, bool] = {}
+        for op in self._ops:
+            edge = op.edge
+            present = (
+                overlay[edge] if edge in overlay else graph.has_edge(*edge)
+            )
+            if op.kind == INSERT:
+                if present:
+                    raise BatchError(
+                        f"batch inserts edge {edge!r} which is already "
+                        "in the graph"
+                    )
+            elif not present:
+                raise BatchError(
+                    f"batch removes edge {edge!r} which is not in the graph"
+                )
+            overlay[edge] = op.kind == INSERT
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -30,16 +30,77 @@ callers can pass a common option set to any engine name.
 
 from __future__ import annotations
 
+import inspect
 import re
-from typing import Callable, Dict
+from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.engine.base import CoreMaintainer
+from repro.errors import EngineOptionError
 from repro.graphs.undirected import DynamicGraph
 
 EngineFactory = Callable[..., CoreMaintainer]
 
 _REGISTRY: Dict[str, EngineFactory] = {}
 _TRAV_PATTERN = re.compile(r"^trav-(\d+)$")
+
+
+def _factory_options(factory: EngineFactory) -> Optional[FrozenSet[str]]:
+    """Option names ``factory`` accepts, or ``None`` for "anything".
+
+    The first parameter is the graph and never an option.  A factory
+    with a ``**kwargs`` catch-all opts out of validation (it is expected
+    to do its own), as does anything :func:`inspect.signature` cannot
+    introspect.
+    """
+    try:
+        params = list(inspect.signature(factory).parameters.values())
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return None
+    accepted = set()
+    for param in params[1:]:
+        if param.kind is param.VAR_KEYWORD:
+            return None
+        if param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY):
+            accepted.add(param.name)
+    return frozenset(accepted)
+
+
+def _check_options(
+    name: str, factory: EngineFactory, opts: dict, *, reserved: tuple = ()
+) -> None:
+    """Reject options ``factory`` would not understand.
+
+    Raises :class:`~repro.errors.EngineOptionError` naming the engine
+    and every stray keyword — factories must never swallow a typo
+    (``sequnce="om"``) silently.  ``reserved`` names parameters the
+    registry itself supplies (e.g. the traversal family's ``h``, which
+    comes from the engine *name*), so callers cannot collide with them.
+    """
+    accepted = _factory_options(factory)
+    if accepted is None:
+        return
+    accepted = accepted - set(reserved)
+    stray = sorted(set(opts) - accepted)
+    if stray:
+        raise EngineOptionError(name, tuple(stray), tuple(sorted(accepted)))
+
+
+def engine_options(name: str) -> Optional[tuple[str, ...]]:
+    """Option names :func:`make_engine` accepts for ``name``.
+
+    ``None`` means the factory validates its own options (it takes
+    ``**kwargs``).  Raises ``ValueError`` for unknown engine names.
+    """
+    factory = _REGISTRY.get(name)
+    reserved: tuple = ()
+    if factory is None:
+        if not is_engine_name(name):
+            raise ValueError(f"unknown engine {name!r}")
+        factory, reserved = _make_traversal, ("h",)
+    accepted = _factory_options(factory)
+    if accepted is None:
+        return None
+    return tuple(sorted(accepted - set(reserved)))
 
 
 def register_engine(name: str, factory: EngineFactory, *, overwrite: bool = False) -> None:
@@ -77,17 +138,22 @@ def make_engine(name: str, graph: DynamicGraph, **opts) -> CoreMaintainer:
     >>> make_engine("order", DynamicGraph([(0, 1)])).name
     'order'
 
-    Unknown names raise ``ValueError`` listing what is available.
+    Unknown names raise ``ValueError`` listing what is available;
+    unknown *options* raise :class:`~repro.errors.EngineOptionError`
+    naming the engine, the stray keyword and what the engine accepts —
+    a typoed option must fail loudly, never be swallowed by a factory.
     """
     factory = _REGISTRY.get(name)
     if factory is None:
         match = _TRAV_PATTERN.match(name)
         if match:
+            _check_options(name, _make_traversal, opts, reserved=("h",))
             return _make_traversal(graph, h=int(match.group(1)), **opts)
         raise ValueError(
             f"unknown engine {name!r}; registered engines: "
             f"{', '.join(available_engines())} (plus any 'trav-<h>')"
         )
+    _check_options(name, factory, opts)
     return factory(graph, **opts)
 
 

@@ -16,7 +16,7 @@ consistent.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Optional
+from typing import Hashable, Iterable, Iterator
 
 from repro.errors import (
     EdgeExistsError,

@@ -1,0 +1,31 @@
+"""The service façade: one public entry point for core maintenance.
+
+::
+
+    from repro.service import CoreService
+
+    svc = CoreService.open(edges, engine="order")       # session
+    with svc.transaction() as tx:                       # writes
+        tx.insert(u, v)
+        tx.remove(x, y)
+    svc.core(v), svc.kcore(k), svc.top(10)              # reads
+    svc.subscribe(on_event, min_k=8)                    # reactions
+    svc.save(path); CoreService.load(path)              # durability
+
+Consumers (the CLI, the sliding-window monitor, examples, benchmark
+drivers) build engines only through this package; the engine registry
+and batch pipeline underneath (:mod:`repro.engine`) stay the extension
+surface for new engine implementations.
+"""
+
+from repro.service.events import CoreEvent, Subscription
+from repro.service.session import CoreService
+from repro.service.transactions import CommitReceipt, Transaction
+
+__all__ = [
+    "CommitReceipt",
+    "CoreEvent",
+    "CoreService",
+    "Subscription",
+    "Transaction",
+]

@@ -1,0 +1,133 @@
+"""The service's core-event stream: records and subscriptions.
+
+Every commit a :class:`~repro.service.CoreService` performs emits one
+:class:`CoreEvent` per vertex whose core number *net-changed* over the
+commit, derived from the engine's exact ``BatchResult.changed`` deltas.
+Subscribers register a callback (optionally filtered to the cores at or
+above a level of interest) and receive the commit's events in a
+deterministic order — the downstream-analysis hook the paper's
+motivation sections describe (community tracking, engagement monitoring)
+without ever polling engine state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
+
+from repro.engine.batch import vertex_sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.service.session import CoreService
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class CoreEvent:
+    """One vertex's net core-number change over one commit.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex whose core number changed.
+    old_core / new_core:
+        Core number before and after the commit (``0`` for a vertex the
+        commit introduced).  The two always differ.
+    receipt_id:
+        Id of the :class:`~repro.service.transactions.CommitReceipt`
+        that produced the event, for correlating events with commits.
+    """
+
+    vertex: Vertex
+    old_core: int
+    new_core: int
+    receipt_id: int
+
+    @property
+    def delta(self) -> int:
+        """``new_core - old_core`` (never zero)."""
+        return self.new_core - self.old_core
+
+    @property
+    def kind(self) -> str:
+        """``"promotion"`` or ``"demotion"``."""
+        return "promotion" if self.new_core > self.old_core else "demotion"
+
+
+EventCallback = Callable[[CoreEvent], None]
+
+
+class Subscription:
+    """A live event subscription; close it (or exit its context) to stop.
+
+    Created by :meth:`repro.service.CoreService.subscribe` — not
+    directly.  With ``min_k`` set, only events that *touch* the cores at
+    or above that level are delivered: a vertex entering, leaving, or
+    moving within the ``>= min_k`` region (``max(old, new) >= min_k``).
+    """
+
+    __slots__ = ("_service", "_callback", "_min_k", "_active")
+
+    def __init__(
+        self,
+        service: "CoreService",
+        callback: EventCallback,
+        min_k: Optional[int] = None,
+    ) -> None:
+        self._service = service
+        self._callback = callback
+        self._min_k = min_k
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription still receives events."""
+        return self._active
+
+    @property
+    def min_k(self) -> Optional[int]:
+        """The subscription's core-level filter (``None`` = everything)."""
+        return self._min_k
+
+    def close(self) -> None:
+        """Stop receiving events; idempotent."""
+        if self._active:
+            self._active = False
+            self._service._unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _deliver(self, events: Sequence[CoreEvent]) -> None:
+        """Dispatch a commit's events through the filter, in order."""
+        min_k = self._min_k
+        for event in events:
+            if not self._active:
+                break  # the callback closed us mid-commit
+            if min_k is not None and max(event.old_core, event.new_core) < min_k:
+                continue
+            self._callback(event)
+
+
+def events_from_deltas(
+    deltas, new_cores, receipt_id: int
+) -> tuple[CoreEvent, ...]:
+    """Build a commit's ordered event tuple from net core deltas.
+
+    ``deltas`` maps vertex -> net change (zeros never appear — engines
+    drop them), ``new_cores`` the same vertices' post-commit core
+    numbers (captured at commit time, so the events stay correct however
+    the graph evolves afterwards).  Events are ordered by
+    :func:`~repro.engine.batch.vertex_sort_key`, so one commit always
+    yields the same sequence regardless of engine schedule.
+    """
+    return tuple(
+        CoreEvent(v, new_cores[v] - delta, new_cores[v], receipt_id)
+        for v, delta in sorted(
+            deltas.items(), key=lambda item: vertex_sort_key(item[0])
+        )
+    )

@@ -1,0 +1,296 @@
+"""The :class:`CoreService` session: the library's one public entry point.
+
+A service wraps one maintenance engine behind three surfaces:
+
+* **writes** — :meth:`CoreService.transaction` accumulates a batch and
+  commits it atomically (plus :meth:`~CoreService.insert` /
+  :meth:`~CoreService.remove` one-op sugar and
+  :meth:`~CoreService.apply` for prebuilt batches);
+* **reads** — :meth:`~CoreService.core`, :meth:`~CoreService.cores`,
+  :meth:`~CoreService.kcore`, :meth:`~CoreService.degeneracy`,
+  :meth:`~CoreService.top`, :meth:`~CoreService.spectrum`, all answered
+  through :mod:`repro.analysis.kcore_views` over the engine's public
+  core mapping — never through maintainer internals;
+* **reactions** — :meth:`~CoreService.subscribe` delivers
+  :class:`~repro.service.events.CoreEvent` records derived from each
+  commit's exact net core deltas.
+
+Sessions are durable: :meth:`~CoreService.save` checkpoints the
+maintained index (order engine) and :meth:`CoreService.load` restores it
+without recomputation, returning a live service ready for new
+subscriptions and commits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Optional, Union
+
+from repro.analysis import kcore_views
+from repro.engine.base import CoreMaintainer
+from repro.engine.batch import Batch
+from repro.engine.registry import make_engine
+from repro.errors import ServiceError
+from repro.graphs.undirected import DynamicGraph
+from repro.service.events import EventCallback, Subscription
+from repro.service.transactions import CommitReceipt, Transaction
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+_MISSING = object()
+
+
+class CoreService:
+    """A long-lived core-maintenance session over one evolving graph.
+
+    Build one with :meth:`open` (by engine registry name) or
+    :meth:`load` (from a :meth:`save` checkpoint); the constructor also
+    accepts an existing :class:`~repro.engine.base.CoreMaintainer` to
+    adopt.  The service takes ownership of the engine and its graph —
+    all further updates must go through the service so subscribers see
+    every change.
+
+    >>> svc = CoreService.open([(0, 1), (1, 2), (2, 0)])
+    >>> svc.core(0)
+    2
+    >>> with svc.transaction() as tx:
+    ...     _ = tx.insert(0, 3).insert(1, 3)
+    >>> tx.receipt.deltas
+    {3: 2}
+    >>> sorted(svc.kcore(2))
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, engine: CoreMaintainer) -> None:
+        self._engine = engine
+        self._subscribers: list[Subscription] = []
+        self._receipt_ids = itertools.count(1)
+        self._last_receipt: Optional[CommitReceipt] = None
+
+    # ------------------------------------------------------------------
+    # Session construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        graph: Union[DynamicGraph, Iterable[Edge], None] = None,
+        *,
+        engine: str = "order",
+        seed: Optional[int] = 0,
+        **opts,
+    ) -> "CoreService":
+        """Open a service over ``graph`` with a registry-named engine.
+
+        ``graph`` may be a :class:`~repro.graphs.undirected.DynamicGraph`
+        (adopted as-is), any iterable of edges, or ``None`` for an empty
+        graph.  ``engine`` is any :func:`~repro.engine.registry.make_engine`
+        name (``"order"``, ``"order-treap"``, ``"trav-<h>"``,
+        ``"naive"``, …); extra options go to the engine factory, which
+        rejects names it does not understand.
+        """
+        if graph is None:
+            graph = DynamicGraph()
+        elif not isinstance(graph, DynamicGraph):
+            graph = DynamicGraph(graph)
+        return cls(make_engine(engine, graph, seed=seed, **opts))
+
+    @classmethod
+    def load(cls, path, *, audit: bool = True) -> "CoreService":
+        """Restore a service from a :meth:`save` checkpoint.
+
+        The maintained index (graph, k-order, ``deg+``, ``mcd``) is
+        rebuilt without recomputation and its invariants are audited
+        (disable with ``audit=False``); see :mod:`repro.core.snapshot`.
+        Subscriptions are runtime state, not part of the checkpoint —
+        re-subscribe on the restored service and events flow from its
+        first commit.
+        """
+        from repro.core.snapshot import load_snapshot
+
+        return cls(load_snapshot(path, audit=audit))
+
+    def save(self, path) -> None:
+        """Checkpoint the maintained index as JSON at ``path``.
+
+        Only the order engine maintains a serializable index; other
+        engines raise :class:`~repro.errors.ServiceError` (rebuild them
+        from the edge list instead).
+        """
+        from repro.core.maintainer import OrderedCoreMaintainer
+        from repro.core.snapshot import save_snapshot
+
+        if not isinstance(self._engine, OrderedCoreMaintainer):
+            raise ServiceError(
+                f"engine {self._engine.name!r} has no snapshot support; "
+                "only the order engine's index can be checkpointed"
+            )
+        save_snapshot(self._engine, path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> CoreMaintainer:
+        """The underlying engine.
+
+        The escape hatch for per-edge measurement and analysis helpers
+        that consume a :class:`~repro.engine.base.CoreMaintainer`; treat
+        it as read-only — updates applied behind the service's back are
+        invisible to subscribers.
+        """
+        return self._engine
+
+    @property
+    def engine_name(self) -> str:
+        """Registry-style name of the underlying engine."""
+        return self._engine.name
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The served graph (read-only; mutate through transactions)."""
+        return self._engine.graph
+
+    @property
+    def last_receipt(self) -> Optional[CommitReceipt]:
+        """Receipt of the most recent commit (``None`` before the first)."""
+        return self._last_receipt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self.graph
+        return (
+            f"CoreService(engine={self._engine.name!r}, "
+            f"n={g.n}, m={g.m}, subscribers={len(self._subscribers)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Start a transaction; commit happens when its context exits."""
+        return Transaction(self)
+
+    def apply(self, batch: Batch) -> CommitReceipt:
+        """Commit a prebuilt :class:`~repro.engine.batch.Batch`."""
+        return self._commit(batch)
+
+    def insert(self, u: Vertex, v: Vertex) -> CommitReceipt:
+        """One-op sugar: commit a single edge insertion."""
+        return self._commit(Batch().insert(u, v))
+
+    def remove(self, u: Vertex, v: Vertex) -> CommitReceipt:
+        """One-op sugar: commit a single edge removal."""
+        return self._commit(Batch().remove(u, v))
+
+    def _commit(self, batch: Batch) -> CommitReceipt:
+        """Apply ``batch``, mint a receipt, notify subscribers.
+
+        The batch is validated against the current graph *first*
+        (:meth:`~repro.engine.batch.Batch.check_applicable`), so an
+        invalid op — inserting a present edge, removing an absent one —
+        raises :class:`~repro.errors.BatchError` before the engine
+        mutates anything and the commit stays atomic.  Only an
+        engine-internal failure can still land a partial batch; engines
+        document those as bugs, not service states.
+        """
+        batch.check_applicable(self._engine.graph)
+        result = self._engine.apply_batch(batch)
+        deltas = result.changed
+        core = self._engine.core
+        receipt = CommitReceipt(
+            receipt_id=next(self._receipt_ids),
+            result=result,
+            deltas=deltas,
+            # Capture the changed vertices' post-commit cores now, so
+            # the receipt's (lazily built) events stay correct however
+            # the graph evolves after this commit.
+            new_cores={v: core.get(v, 0) for v in deltas},
+        )
+        self._last_receipt = receipt
+        if self._subscribers and deltas:
+            events = receipt.events
+            # Snapshot the list: callbacks may close their own (or any)
+            # subscription mid-dispatch.
+            for subscription in list(self._subscribers):
+                subscription._deliver(events)
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Reads (backed by analysis.kcore_views)
+    # ------------------------------------------------------------------
+
+    def core(self, vertex: Vertex, default=_MISSING) -> int:
+        """Core number of one vertex.
+
+        Raises ``KeyError`` for a vertex the service has never seen,
+        unless ``default`` is given.
+        """
+        c = self._engine.core.get(vertex, _MISSING)
+        if c is _MISSING:
+            if default is _MISSING:
+                raise KeyError(vertex)
+            return default
+        return c
+
+    def cores(self) -> dict[Vertex, int]:
+        """A snapshot copy of every vertex's core number."""
+        return dict(self._engine.core)
+
+    def kcore(self, k: int) -> kcore_views.KCoreView:
+        """A lazy, live membership view of the ``k``-core.
+
+        O(1) membership tests, on-demand iteration, and it always
+        answers for the *current* graph — no copy is taken.  Call
+        ``.vertices()`` to pin a set or ``.subgraph()`` for the induced
+        graph.
+        """
+        return kcore_views.KCoreView(self._engine.core, k, self.graph)
+
+    def degeneracy(self) -> int:
+        """The largest ``k`` with a non-empty ``k``-core."""
+        return kcore_views.degeneracy(self._engine.core)
+
+    def top(self, n: int) -> list[tuple[Vertex, int]]:
+        """The ``n`` vertices with the highest core numbers (descending)."""
+        return kcore_views.top_cores(self._engine.core, n)
+
+    def spectrum(self) -> dict[int, int]:
+        """Map ``k -> |k-shell|`` for every non-empty shell."""
+        return kcore_views.core_spectrum(self._engine.core)
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, callback: EventCallback, *, min_k: Optional[int] = None
+    ) -> Subscription:
+        """Deliver every future commit's core events to ``callback``.
+
+        ``callback(event)`` runs synchronously during commit, once per
+        changed vertex, after the engine's state is fully consistent —
+        reading the service from inside a callback sees the post-commit
+        world.  With ``min_k``, only events touching the cores at or
+        above that level arrive (``max(old, new) >= min_k``).  Close the
+        returned :class:`~repro.service.events.Subscription` (or use it
+        as a context manager) to stop.  A callback that raises aborts
+        the remaining dispatch and propagates out of the commit; the
+        commit itself is already applied.
+        """
+        subscription = Subscription(self, callback, min_k)
+        self._subscribers.append(subscription)
+        return subscription
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._subscribers)
+
+    def _unsubscribe(self, subscription: Subscription) -> None:
+        try:
+            self._subscribers.remove(subscription)
+        except ValueError:  # already removed; close() is idempotent
+            pass

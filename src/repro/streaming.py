@@ -6,13 +6,17 @@ for ``window`` time units after it arrives, then expires.  Every arrival
 is an insertion, every expiry a removal — precisely the mixed workload of
 Fig. 12, driven by time instead of probability.
 
-:class:`SlidingWindowCoreMonitor` wraps any registered engine
-(:func:`repro.engine.make_engine`) with that lifecycle and drives both
-ticks through the batch pipeline: all edges expiring at one advance go to
-the engine as a single :class:`~repro.engine.batch.Batch`, and
-:meth:`SlidingWindowCoreMonitor.observe_many` feeds simultaneous arrivals
-the same way.  Duplicate arrivals of a live edge refresh its expiry
-instead of inserting twice (multigraphs are out of k-core scope).
+:class:`SlidingWindowCoreMonitor` is a *driver* over the service façade
+(:class:`repro.service.CoreService` — the one public entry point): each
+tick's arrivals and expiries commit as one service transaction, and the
+monitor's promotion/demotion statistics are a plain event **subscriber**
+on the service's core-event stream — the same
+:meth:`~repro.service.CoreService.subscribe` hook any application can
+use.  Feed batched ticks with :meth:`SlidingWindowCoreMonitor.observe_many`
+(see :meth:`repro.graphs.temporal.TemporalEdgeStream.ticks` for grouping
+a stream at its natural tick granularity).  Duplicate arrivals of a live
+edge refresh its expiry instead of inserting twice (multigraphs are out
+of k-core scope).
 """
 
 from __future__ import annotations
@@ -23,9 +27,8 @@ from typing import Hashable, Iterable, Optional
 
 from repro.engine.base import CoreMaintainer
 from repro.engine.batch import Batch, normalize_edge
-from repro.engine.registry import make_engine
 from repro.errors import WorkloadError
-from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreEvent, CoreService
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
@@ -65,10 +68,16 @@ class SlidingWindowCoreMonitor:
     engine:
         Registry name of the maintenance engine (default ``"order"``);
         any extra keyword arguments are passed to the engine factory.
+    service:
+        An already-open :class:`~repro.service.CoreService` to drive
+        instead of opening one (its graph must still be edgeless — the
+        window starts empty).  Mutually exclusive with engine options.
 
     Events must be fed in non-decreasing timestamp order via
     :meth:`observe` / :meth:`observe_many`; :meth:`advance_to` expires
-    edges without an arrival.
+    edges without an arrival.  The promotion/demotion stats are driven
+    by a service subscription, so they stay exact under any engine and
+    batch schedule.
     """
 
     def __init__(
@@ -76,14 +85,29 @@ class SlidingWindowCoreMonitor:
         window: float,
         seed: Optional[int] = 0,
         engine: str = "order",
+        service: Optional[CoreService] = None,
         **engine_opts,
     ) -> None:
         if window <= 0:
             raise WorkloadError(f"window must be positive, got {window}")
         self.window = window
-        self._engine = make_engine(
-            engine, DynamicGraph(), seed=seed, **engine_opts
-        )
+        if service is None:
+            service = CoreService.open(engine=engine, seed=seed, **engine_opts)
+        elif engine != "order" or seed != 0 or engine_opts:
+            # An adopted service already has its engine; silently
+            # ignoring configuration here would be exactly the option
+            # swallowing make_engine refuses.
+            raise WorkloadError(
+                "pass either service= or engine configuration "
+                "(engine/seed/engine options), not both"
+            )
+        elif service.graph.m:
+            raise WorkloadError(
+                "the window starts empty: the adopted service already "
+                f"holds {service.graph.m} edges"
+            )
+        self._service = service
+        self._subscription = service.subscribe(self._count_event)
         #: live edge -> expiry time
         self._expiry: dict[Edge, float] = {}
         #: expiry queue: (expiry_time, edge); stale entries skipped lazily
@@ -99,9 +123,14 @@ class SlidingWindowCoreMonitor:
         return self._now
 
     @property
+    def service(self) -> CoreService:
+        """The underlying service session (subscribe, query, save)."""
+        return self._service
+
+    @property
     def engine(self) -> CoreMaintainer:
-        """The underlying maintainer (read-only use)."""
-        return self._engine
+        """The service's engine (read-only use; kept for compatibility)."""
+        return self._service.engine
 
     def live_edges(self) -> int:
         """Number of edges currently inside the window."""
@@ -109,16 +138,22 @@ class SlidingWindowCoreMonitor:
 
     def core_of(self, vertex: Vertex) -> int:
         """Current core number (0 for unseen vertices)."""
-        core = self._engine.core
-        return core[vertex] if vertex in core else 0
+        return self._service.core(vertex, 0)
 
     def k_core(self, k: int) -> set[Vertex]:
         """Vertices currently in the ``k``-core of the window graph."""
-        return self._engine.k_core(k)
+        return self._service.kcore(k).vertices()
 
     def degeneracy(self) -> int:
         """Current maximum core number."""
-        return self._engine.degeneracy()
+        return self._service.degeneracy()
+
+    def _count_event(self, event: CoreEvent) -> None:
+        """The stats subscriber: fold each commit's net core deltas in."""
+        if event.new_core > event.old_core:
+            self.stats.promotions += event.new_core - event.old_core
+        else:
+            self.stats.demotions += event.old_core - event.new_core
 
     # ------------------------------------------------------------------
 
@@ -133,8 +168,8 @@ class SlidingWindowCoreMonitor:
         """Feed several arrivals sharing timestamp ``t`` as one batch.
 
         Expiry of due edges and insertion of the genuinely new arrivals
-        each go through the engine's batch pipeline — one
-        ``apply_batch`` per tick, however many edges arrive.
+        each commit through one service transaction — one engine batch
+        per tick, however many edges arrive.
         """
         if t < self._now:
             raise WorkloadError(
@@ -157,16 +192,15 @@ class SlidingWindowCoreMonitor:
             self._expiry[edge] = expiry
             self._queue.append((expiry, edge))
         if fresh:
-            result = self._engine.apply_batch(Batch.inserts(fresh))
+            self._service.apply(Batch.inserts(fresh))
             self.stats.arrivals += len(fresh)
-            self.stats.promotions += result.vertex_changes
         self.stats.degeneracy_timeline.append((t, self.degeneracy()))
 
     def advance_to(self, t: float) -> int:
         """Expire every edge whose lifetime ended by time ``t``.
 
-        All due edges leave the engine as one removal batch.  Returns the
-        number of edges removed.
+        All due edges leave the engine as one removal commit.  Returns
+        the number of edges removed.
         """
         if t < self._now:
             raise WorkloadError(
@@ -182,9 +216,8 @@ class SlidingWindowCoreMonitor:
             del self._expiry[edge]
             due.append(edge)
         if due:
-            result = self._engine.apply_batch(Batch.removes(due))
+            self._service.apply(Batch.removes(due))
             self.stats.expiries += len(due)
-            self.stats.demotions += result.vertex_changes
         return len(due)
 
     def drain(self) -> int:

@@ -24,7 +24,7 @@ from repro.analysis.kcore_views import (
 )
 from repro.analysis.metrics import UpdateLog
 from repro.analysis.subcore import order_core, pure_core, sub_core
-from repro.core.base import UpdateResult
+from repro.engine.base import UpdateResult
 from repro.core.decomposition import core_numbers, korder_decomposition
 from repro.core.korder import KOrder
 from repro.core.maintainer import compute_mcd

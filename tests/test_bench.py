@@ -160,14 +160,7 @@ class TestExperiments:
 
     def test_fig5_oc_stochastically_smaller(self):
         result = experiments.fig5("patents", sample=60, **SMALL)
-        # At every probed size, the oc CDF dominates (is >=) the pc CDF.
-        from repro.analysis.distributions import fraction_at_most
-
-        for threshold in (1, 10, 100):
-            oc = fraction_at_most(
-                [x for x in result.oc.xs for _ in [0]], threshold
-            )
-        # Simpler robust check: median oc size <= median pc size.
+        # Robust check: median oc size <= median pc size.
         def median_size(cdf):
             for x, f in zip(cdf.xs, cdf.fractions):
                 if f >= 0.5:

@@ -16,7 +16,6 @@ from repro.core.maintainer import OrderedCoreMaintainer
 from repro.graphs.undirected import DynamicGraph
 from repro.streaming import SlidingWindowCoreMonitor
 
-from helpers import random_gnm
 
 
 class TestBulkInsert:
@@ -39,7 +38,7 @@ class TestBulkInsert:
     def test_bulk_then_removals_work(self, triangle_graph):
         engine = OrderedCoreMaintainer(triangle_graph, audit=True)
         engine.insert_edges_bulk([(3, 0), (3, 4), (4, 0)])
-        result = engine.remove_edge(3, 0)
+        engine.remove_edge(3, 0)
         assert engine.core_numbers() == core_numbers(engine.graph)
 
     def test_bulk_registers_new_vertices(self):

@@ -21,11 +21,12 @@ from repro.engine import (
     CoreMaintainer,
     UpdateResult,
     available_engines,
+    engine_options,
     make_engine,
     normalize_edge,
     register_engine,
 )
-from repro.errors import BatchError, SelfLoopError
+from repro.errors import BatchError, EngineOptionError, SelfLoopError
 from repro.graphs.undirected import DynamicGraph
 from repro.naive.maintainer import NaiveCoreMaintainer
 from repro.traversal.maintainer import TraversalCoreMaintainer
@@ -103,12 +104,16 @@ class TestRegistry:
             make_engine("naive-alias", DynamicGraph()), NaiveCoreMaintainer
         )
 
-    def test_core_base_shim_reexports_engine_base(self):
-        from repro.core.base import CoreMaintainer as shim_cm
-        from repro.core.base import UpdateResult as shim_ur
+    def test_core_base_shim_reexports_engine_base_with_deprecation(self):
+        import importlib
+        import sys
 
-        assert shim_cm is CoreMaintainer
-        assert shim_ur is UpdateResult
+        sys.modules.pop("repro.core.base", None)
+        with pytest.warns(DeprecationWarning, match="repro.engine.base"):
+            shim = importlib.import_module("repro.core.base")
+
+        assert shim.CoreMaintainer is CoreMaintainer
+        assert shim.UpdateResult is UpdateResult
 
     def test_sequence_backend_selection(self):
         graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
@@ -120,6 +125,70 @@ class TestRegistry:
         assert make_engine("order-treap", graph.copy()).sequence == "treap"
         with pytest.raises(ValueError, match="sequence backend"):
             make_engine("order", graph.copy(), sequence="skiplist")
+
+
+class TestEngineOptionValidation:
+    """Unknown options must fail loudly, naming engine and keyword."""
+
+    #: Every registered family plus the dynamic trav-<h> path, with an
+    #: option the factory genuinely accepts (proving validation does not
+    #: over-reject).
+    FAMILIES = [
+        ("order", {"policy": "large"}),
+        ("order-small", {"audit": True}),
+        ("order-large", {"seed": 3}),
+        ("order-random", {"seed": 3}),
+        ("order-om", {"partition": True}),
+        ("order-treap", {"parallel": 2}),
+        ("naive", {"seed": 1}),
+        ("trav", {"audit": True}),
+        ("trav-2", {"seed": 1}),
+        ("trav-7", {"audit": True}),  # dynamic trav-<h>, not registered
+    ]
+
+    @pytest.mark.parametrize("name,good", FAMILIES)
+    def test_every_family_rejects_a_stray_option(self, name, good):
+        graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
+        engine = make_engine(name, graph.copy(), **good)
+        assert isinstance(engine, CoreMaintainer)
+        with pytest.raises(EngineOptionError) as info:
+            make_engine(name, graph.copy(), turbo=True, **good)
+        message = str(info.value)
+        assert name in message and "turbo" in message
+        assert info.value.stray == ("turbo",)
+
+    def test_typoed_known_option_names_the_typo(self):
+        with pytest.raises(EngineOptionError, match="sequnce"):
+            make_engine("order", DynamicGraph(), sequnce="om")
+
+    def test_error_lists_accepted_options(self):
+        with pytest.raises(EngineOptionError) as info:
+            make_engine("naive", DynamicGraph(), sequence="om")
+        assert set(info.value.accepted) == {"seed", "audit"}
+
+    def test_trav_name_derived_h_is_not_an_option(self):
+        # h comes from the engine *name*; passing it as an option must
+        # fail instead of silently fighting the name.
+        with pytest.raises(EngineOptionError, match="'h'"):
+            make_engine("trav-3", DynamicGraph(), h=5)
+
+    def test_var_keyword_factories_validate_themselves(self):
+        calls = []
+
+        def factory(graph, **opts):
+            calls.append(opts)
+            return NaiveCoreMaintainer(graph)
+
+        register_engine("anything-goes", factory, overwrite=True)
+        make_engine("anything-goes", DynamicGraph(), custom=1, seed=2)
+        assert calls == [{"custom": 1, "seed": 2}]
+
+    def test_engine_options_introspection(self):
+        assert engine_options("naive") == ("audit", "seed")
+        assert "sequence" in engine_options("order")
+        assert engine_options("trav-5") == ("audit", "seed")
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_options("quantum")
 
 
 class TestBatch:

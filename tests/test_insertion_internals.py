@@ -10,7 +10,6 @@ from repro.core.insertion import order_insert
 from repro.core.korder import KOrder
 from repro.core.maintainer import OrderedCoreMaintainer
 from repro.graphs.undirected import DynamicGraph
-from repro.naive.maintainer import NaiveCoreMaintainer
 
 
 def build_state(edges, vertices=()):

@@ -114,6 +114,52 @@ class TestTemporalEdgeStream:
         assert s.graph().m == 2
 
 
+class TestTicks:
+    def test_identical_timestamps_form_one_tick(self):
+        s = TemporalEdgeStream(
+            [(1, 2, 0.0), (3, 4, 0.0), (5, 6, 1.0), (7, 8, 1.0), (9, 10, 5.0)]
+        )
+        assert list(s.ticks()) == [
+            (0.0, [(1, 2), (3, 4)]),
+            (1.0, [(5, 6), (7, 8)]),
+            (5.0, [(9, 10)]),
+        ]
+
+    def test_every_buckets_dense_index_timestamps(self):
+        s = TemporalEdgeStream.from_edges(
+            [(i, i + 1) for i in range(10)]
+        )  # timestamps 0..9
+        ticks = list(s.ticks(every=4.0))
+        assert [t for t, _ in ticks] == [3.0, 7.0, 9.0]
+        assert [len(edges) for _, edges in ticks] == [4, 4, 2]
+        # Nothing dropped, order preserved.
+        assert [e for _, es in ticks for e in es] == s.edges()
+
+    def test_tick_timestamps_strictly_increase(self):
+        s = TemporalEdgeStream.from_edges([(i, i + 1) for i in range(30)])
+        stamps = [t for t, _ in s.ticks(every=7.0)]
+        assert stamps == sorted(set(stamps))
+
+    def test_empty_stream_and_bad_width(self):
+        assert list(TemporalEdgeStream([]).ticks()) == []
+        with pytest.raises(WorkloadError, match="tick width"):
+            list(TemporalEdgeStream([(1, 2, 0.0)]).ticks(every=0))
+
+    def test_ticks_feed_observe_many_one_commit_per_tick(self):
+        from repro.streaming import SlidingWindowCoreMonitor
+
+        edges = [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)]
+        s = TemporalEdgeStream.from_edges(edges)
+        monitor = SlidingWindowCoreMonitor(window=100.0)
+        ticks = list(s.ticks(every=3.0))
+        for t, group in ticks:
+            monitor.observe_many(group, t)
+        # One insert commit per tick — same-tick arrivals land together.
+        assert monitor.service.last_receipt.receipt_id == len(ticks) == 2
+        assert monitor.stats.arrivals == len(edges)
+        assert monitor.core_of(3) == 3
+
+
 class TestDatasets:
     def test_registry_has_the_11_paper_datasets(self):
         assert len(DATASETS) == 11

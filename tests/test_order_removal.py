@@ -9,7 +9,7 @@ from repro.core.maintainer import OrderedCoreMaintainer
 from repro.errors import EdgeNotFoundError
 from repro.graphs.undirected import DynamicGraph
 
-from helpers import fig3_edges, u
+from helpers import u
 
 
 class TestBasicRemovals:

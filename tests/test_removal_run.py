@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 
 from repro.core.decomposition import core_numbers, korder_decomposition
 from repro.core.korder import KOrder
-from repro.core.maintainer import OrderedCoreMaintainer, compute_mcd
+from repro.core.maintainer import compute_mcd
 from repro.core.removal import order_remove_run
 from repro.engine import Batch, make_engine
 from repro.errors import EdgeNotFoundError

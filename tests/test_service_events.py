@@ -1,0 +1,157 @@
+"""Property suite: the CoreEvent stream is exactly the oracle's story.
+
+Random mixed batch streams (including batches that introduce brand-new
+vertices) commit through a ``CoreService`` session; after every commit,
+the events delivered to a subscriber must match a from-scratch
+``core_numbers`` recomputation of the graph before vs after the commit —
+per-vertex old/new core agreement, no duplicate events, no missed
+events — on both k-order sequence backends and against the naive
+engine's own oracle schedule.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers
+from repro.engine.batch import Batch
+from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreService
+
+#: "order" is the OM-list-backed engine (the default); "order-treap"
+#: runs the same algorithm over the treap backend.
+BACKENDS = ("order", "order-treap")
+
+
+def mixed_batch_stream(rng, n_batches, batch_size, universe):
+    """A base edge list plus valid mixed batches over a growing universe.
+
+    Removals always target a currently-present edge and inserts a
+    currently-absent one (tracked against the evolving edge set), so
+    every batch is valid in op order; later batches routinely touch
+    vertices no engine has seen yet.
+    """
+    base_vertices = max(4, universe // 2)
+    present: set = set()
+    base = []
+    for _ in range(base_vertices * 2):
+        a, b = rng.sample(range(base_vertices), 2)
+        edge = (min(a, b), max(a, b))
+        if edge not in present:
+            present.add(edge)
+            base.append(edge)
+    batches = []
+    for index in range(n_batches):
+        reachable = base_vertices + (
+            (universe - base_vertices) * (index + 1) // n_batches
+        )
+        ops = []
+        pending = set(present)
+        for _ in range(batch_size):
+            if pending and rng.random() < 0.45:
+                edge = rng.choice(sorted(pending))
+                ops.append(("remove", edge))
+                pending.discard(edge)
+            else:
+                for _ in range(50):
+                    a, b = rng.sample(range(reachable), 2)
+                    edge = (min(a, b), max(a, b))
+                    if edge not in pending:
+                        break
+                else:
+                    continue
+                ops.append(("insert", edge))
+                pending.add(edge)
+        present = pending
+        batches.append(Batch(ops))
+    return base, batches
+
+
+def expected_story(before, after):
+    """The oracle's events for one commit: vertex -> (old, new)."""
+    return {
+        v: (before.get(v, 0), after.get(v, 0))
+        for v in before.keys() | after.keys()
+        if before.get(v, 0) != after.get(v, 0)
+    }
+
+
+def replay_and_check(engine_name, seed, n_batches, batch_size, universe):
+    rng = random.Random(seed)
+    base, batches = mixed_batch_stream(rng, n_batches, batch_size, universe)
+    svc = CoreService.open(
+        DynamicGraph(base), engine=engine_name, seed=seed
+    )
+    captured = []
+    svc.subscribe(captured.append)
+    all_events = []
+    for batch in batches:
+        before = core_numbers(svc.graph)
+        captured.clear()
+        receipt = svc.apply(batch)
+        after = core_numbers(svc.graph)
+        story = expected_story(before, after)
+
+        vertices = [e.vertex for e in captured]
+        assert len(set(vertices)) == len(vertices), (
+            f"{engine_name}: duplicate events in one commit"
+        )
+        told = {e.vertex: (e.old_core, e.new_core) for e in captured}
+        assert told == story, (
+            f"{engine_name}: event stream diverged from the oracle "
+            f"(missing {story.keys() - told.keys()}, "
+            f"spurious {told.keys() - story.keys()})"
+        )
+        assert all(e.receipt_id == receipt.receipt_id for e in captured)
+        assert tuple(captured) == receipt.events
+        all_events.append(list(captured))
+    return all_events
+
+
+@pytest.mark.parametrize("engine_name", BACKENDS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_event_stream_matches_oracle_fixed_streams(engine_name, seed):
+    replay_and_check(
+        engine_name, seed, n_batches=6, batch_size=25, universe=60
+    )
+
+
+@pytest.mark.parametrize("engine_name", BACKENDS)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_batches=st.integers(min_value=1, max_value=5),
+    batch_size=st.integers(min_value=1, max_value=30),
+    universe=st.integers(min_value=8, max_value=48),
+)
+def test_event_stream_matches_oracle_property(
+    engine_name, seed, n_batches, batch_size, universe
+):
+    """Hypothesis: arbitrary valid mixed streams tell the exact story."""
+    replay_and_check(engine_name, seed, n_batches, batch_size, universe)
+
+
+def test_backends_emit_identical_event_sequences():
+    """om and treap must agree event-for-event, not just core-for-core."""
+    streams = [
+        replay_and_check(name, 7, n_batches=5, batch_size=20, universe=40)
+        for name in BACKENDS
+    ]
+    assert streams[0] == streams[1]
+
+
+def test_naive_engine_tells_the_same_story():
+    """The event layer is engine-agnostic: the oracle engine agrees."""
+    order = replay_and_check(
+        "order", 11, n_batches=4, batch_size=15, universe=30
+    )
+    naive = replay_and_check(
+        "naive", 11, n_batches=4, batch_size=15, universe=30
+    )
+    assert order == naive
