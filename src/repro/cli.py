@@ -76,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="order", type=_engine_name,
         help="engine registry name for 'batch'/'validate' "
         "(order, order-om, order-treap, order-large, order-random, "
-        "naive, trav-<h>)",
+        "order-sharded, naive, trav-<h>)",
     )
     parser.add_argument(
         "--batch-size", type=int, default=100,
@@ -94,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--parallel", type=_positive_int, default=None, metavar="WORKERS",
         help="batch: opt-in region-parallel worker pool for the order "
-        "engines (implies --partition)",
+        "engines (implies --partition; with --engine order-sharded the "
+        "workers commit per-shard, without the engine-wide lock)",
     )
     parser.add_argument(
         "--datasets",

@@ -124,6 +124,43 @@ class OrderedCoreMaintainer(CoreMaintainer):
         self._batch_partition = bool(partition)
         self._batch_parallel = parallel if parallel else None
 
+    @classmethod
+    def from_index_state(
+        cls,
+        graph: DynamicGraph,
+        order: Iterable[Vertex],
+        core: dict[Vertex, int],
+        deg_plus: Mapping[Vertex, int],
+        mcd: dict[Vertex, int],
+        *,
+        sequence: str = DEFAULT_SEQUENCE,
+        audit: bool = False,
+        seed: Optional[int] = 0,
+    ) -> "OrderedCoreMaintainer":
+        """Rebuild a live maintainer from already-valid index state.
+
+        ``order`` must be a valid k-order of ``graph`` with ``core`` /
+        ``deg_plus`` / ``mcd`` consistent; no decomposition runs.  The
+        ``core`` and ``mcd`` dicts are adopted, not copied.  This is the
+        one bypass of ``__init__`` — shared by snapshot restore
+        (:func:`repro.core.snapshot.from_snapshot`) and the sharded
+        engine's split path, so new maintainer state only ever needs to
+        be wired here.  Raises ``ValueError`` for an unknown backend.
+        """
+        maintainer = cls.__new__(cls)
+        CoreMaintainer.__init__(maintainer, graph)
+        maintainer._audit = audit
+        maintainer._rng = random.Random(seed)
+        maintainer._core = core
+        korder = KOrder(maintainer._rng, sequence=sequence)
+        for vertex in order:
+            korder.append(core[vertex], vertex)
+        korder.deg_plus.update(deg_plus)
+        maintainer.korder = korder
+        maintainer._mcd = mcd
+        maintainer.mcd_recomputations = 0
+        return maintainer
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

@@ -79,28 +79,23 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
 
     graph = DynamicGraph(edges, vertices=order)
     # Rebuild state without triggering a fresh decomposition.
-    import random
+    from repro.core.korder import DEFAULT_SEQUENCE
 
-    from repro.engine.base import CoreMaintainer
-    from repro.core.korder import DEFAULT_SEQUENCE, KOrder
-
-    maintainer = OrderedCoreMaintainer.__new__(OrderedCoreMaintainer)
-    CoreMaintainer.__init__(maintainer, graph)
-    maintainer._audit = False
-    maintainer._rng = random.Random(0)
-    maintainer._core = dict(zip(order, cores))
     # Pre-backend snapshots carry no "sequence" field; restore those on
     # the current default (backend choice never affects semantics).
     sequence = snapshot.get("sequence", DEFAULT_SEQUENCE)
     try:
-        korder = KOrder(maintainer._rng, sequence=sequence)
+        maintainer = OrderedCoreMaintainer.from_index_state(
+            graph,
+            order,
+            dict(zip(order, cores)),
+            dict(zip(order, deg_plus)),
+            dict(zip(order, mcd)),
+            sequence=sequence,
+            seed=0,
+        )
     except ValueError as exc:
         raise StaleIndexError(str(exc)) from exc
-    for vertex, core in zip(order, cores):
-        korder.append(core, vertex)
-    korder.deg_plus.update(zip(order, deg_plus))
-    maintainer.korder = korder
-    maintainer._mcd = dict(zip(order, mcd))
     if audit:
         try:
             maintainer.check()

@@ -254,6 +254,13 @@ class Batch:
         land), and the insertion run's coalesced repair cost does not
         depend on its position.  Conflicting batches (some edge inserted
         *and* removed) keep their natural op order.
+
+        >>> batch = Batch([("insert", (1, 2)), ("remove", (3, 4)),
+        ...                ("insert", (5, 6))])
+        >>> batch.runs()
+        [('remove', [(3, 4)]), ('insert', [(1, 2), (5, 6)])]
+        >>> batch.runs(reorder=False)
+        [('insert', [(1, 2)]), ('remove', [(3, 4)]), ('insert', [(5, 6)])]
         """
         if not self._ops:
             return []
@@ -307,6 +314,12 @@ class Batch:
         Returns the regions ordered by their first op's position in the
         batch; a batch whose ops are all connected returns ``[self]``-
         equivalent single region.
+
+        >>> from repro.graphs.undirected import DynamicGraph
+        >>> graph = DynamicGraph([(0, 1), (1, 2), (10, 11)])
+        >>> regions = Batch.removes([(0, 1), (10, 11)]).partition(graph)
+        >>> [[op.edge for op in region] for region in regions]
+        [[(0, 1)], [(10, 11)]]
         """
         if not self._ops:
             return []

@@ -18,6 +18,14 @@ Names
     options ``partition=True`` (split every batch into independent
     regions before applying) and ``parallel=<workers>`` (opt-in
     region-parallel application; implies partitioning).
+``order-sharded``
+    The sharded order engine
+    (:class:`~repro.engine.sharded.ShardedOrderEngine`): one order
+    sub-engine per connected component group, so ``parallel=<workers>``
+    commits independent batch regions from a thread pool with **no**
+    engine-wide lock.  Accepts the order family's ``sequence`` /
+    ``policy`` options plus ``reshard="off" | "batch"`` (targeted
+    re-shard of disconnected shards after removal batches).
 ``trav-<h>``
     The traversal baseline with hop count ``h >= 2`` (``trav`` alone means
     ``trav-2``); any ``h`` is accepted, not just the pre-listed ones.
@@ -90,6 +98,9 @@ def engine_options(name: str) -> Optional[tuple[str, ...]]:
 
     ``None`` means the factory validates its own options (it takes
     ``**kwargs``).  Raises ``ValueError`` for unknown engine names.
+
+    >>> engine_options("naive")
+    ('audit', 'seed')
     """
     factory = _REGISTRY.get(name)
     reserved: tuple = ()
@@ -137,6 +148,8 @@ def make_engine(name: str, graph: DynamicGraph, **opts) -> CoreMaintainer:
     >>> from repro.graphs.undirected import DynamicGraph
     >>> make_engine("order", DynamicGraph([(0, 1)])).name
     'order'
+    >>> make_engine("order-sharded", DynamicGraph([(0, 1)]), parallel=2).name
+    'order-sharded'
 
     Unknown names raise ``ValueError`` listing what is available;
     unknown *options* raise :class:`~repro.errors.EngineOptionError`
@@ -186,6 +199,25 @@ def _make_order(policy: str, sequence: str = None):
     return factory
 
 
+def _make_sharded(
+    graph: DynamicGraph,
+    seed=0,
+    audit: bool = False,
+    policy: str = "small",
+    sequence: str = None,
+    parallel=None,
+    reshard: str = "off",
+    partition: bool = True,
+):
+    from repro.engine.sharded import ShardedOrderEngine
+
+    opts = {} if sequence is None else {"sequence": sequence}
+    return ShardedOrderEngine(
+        graph, policy=policy, seed=seed, audit=audit, parallel=parallel,
+        reshard=reshard, partition=partition, **opts
+    )
+
+
 def _make_traversal(graph: DynamicGraph, h: int = 2, seed=None, audit: bool = False):
     from repro.traversal.maintainer import TraversalCoreMaintainer
 
@@ -204,6 +236,7 @@ register_engine("order-large", _make_order("large"))
 register_engine("order-random", _make_order("random"))
 register_engine("order-om", _make_order("small", sequence="om"))
 register_engine("order-treap", _make_order("small", sequence="treap"))
+register_engine("order-sharded", _make_sharded)
 def _make_traversal_at(h: int):
     def factory(graph: DynamicGraph, seed=None, audit: bool = False):
         return _make_traversal(graph, h=h, seed=seed, audit=audit)

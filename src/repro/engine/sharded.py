@@ -1,0 +1,763 @@
+"""Sharded order engine: per-component sub-engines, lock-free parallel
+batches.
+
+The PR-3 region scheduler proved that independent batch regions commute,
+but its workers still serialized on an engine-wide lock because the
+k-order blocks were *shared* state.  This module removes the shared
+state itself, following the parallel core-maintenance literature (Wang
+et al., *Parallel Algorithms for Core Maintenance in Dynamic Graphs*;
+Jin et al., *A Parallel Approach based on Matching*): partition the
+structural index, not just the work.
+
+A :class:`ShardedOrderEngine` materializes one
+:class:`~repro.core.maintainer.OrderedCoreMaintainer` **sub-engine per
+connected component group** of the graph.  Each shard owns its own
+subgraph, its own :class:`~repro.core.korder.KOrder` blocks (and
+therefore its own :class:`~repro.structures.sequence.SequenceIndex`
+backend and :class:`~repro.structures.sequence.SequenceStats`), and its
+own ``mcd`` slice.  Core numbers of a disjoint union are the disjoint
+union of per-component core numbers, so the sharded engine is exact by
+construction — every agreement harness that covers the plain order
+engine covers this one too.
+
+Sharding protocol
+-----------------
+* **Intra-shard updates** delegate to the owning sub-engine unchanged.
+* **Cross-shard inserts** (an edge whose endpoints live in different
+  shards) trigger a *shard merge*: the smaller shard's graph, cores,
+  k-order blocks, ``deg+`` and ``mcd`` are absorbed into the larger
+  shard in O(smaller) without any recomputation — per level, the
+  absorbed block is appended behind the survivor's block, which stays a
+  valid k-order because disjoint components share no edges.  Counted by
+  ``shard_merges`` / ``cross_region_ops``.
+* **Removals never split eagerly** — a shard may come to hold several
+  components, which stays exact (a sub-engine over a disconnected
+  subgraph is still an order engine).  A *targeted re-shard*
+  (:meth:`ShardedOrderEngine.reshard`) splits any shard whose subgraph
+  has fallen apart back into per-component shards, again without
+  recomputation (``shard_splits``); ``reshard="batch"`` runs it
+  automatically after every batch that removed edges, checking only the
+  shards that batch touched.
+
+Because shards share **no** mutable state, :meth:`apply_batch` commits
+per-shard sub-batches from a thread pool without the PR-3 engine-wide
+region lock: workers run concurrently end to end, and only the
+single-threaded pre-phase (merge resolution) and post-phase (top-graph
+mirror, aggregation) touch shared structures.  Under the CPython GIL
+the cascades still interleave, but nothing serializes *beyond* the GIL
+— on free-threaded builds the same schedule is a true parallel win, and
+either way the per-batch grouping is O(batch) instead of the region
+partitioner's walk over the touched subgraph.
+
+``BatchResult.counters`` reports, per batch: ``shards`` (live shard
+count), ``shard_merges``, ``shard_splits``, ``cross_region_ops``,
+``regions`` / ``region_max_size`` (sub-batch shape) and
+``parallel_commits`` (sub-batches committed from the pool, i.e. without
+any engine-wide lock).
+
+Build one with ``make_engine("order-sharded", graph, parallel=4)`` or
+``CoreService.open(edges, engine="order-sharded")``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Hashable, Iterator, Mapping, Optional
+
+from repro.core.korder import DEFAULT_SEQUENCE
+from repro.core.maintainer import OrderedCoreMaintainer
+from repro.engine.base import CoreMaintainer, UpdateResult
+from repro.engine.batch import Batch, BatchOp, BatchResult, merge_deltas
+from repro.errors import (
+    EdgeNotFoundError,
+    InvariantViolationError,
+    SelfLoopError,
+)
+from repro.graphs.undirected import DynamicGraph
+from repro.structures.sequence import SequenceStats
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+#: Accepted values for the automatic re-shard policy.
+RESHARD_POLICIES = ("off", "batch")
+
+_COUNTER_KEYS = (
+    "order_queries",
+    "relabels",
+    "rank_walk_steps",
+    "mcd_recomputations",
+)
+
+
+def _component_lists(adj, ordered_vertices) -> list[list[Vertex]]:
+    """Connected components of ``adj``, one O(n + m) pass, each returned
+    as a list preserving the order of ``ordered_vertices``.
+
+    Order preservation matters: a shard built from a single-component
+    graph must present its vertices exactly as the plain engine would
+    see them, so decompositions — and snapshots — agree byte-for-byte;
+    the split path likewise needs each component in k-order.
+    """
+    ordered = list(ordered_vertices)
+    comp_of: dict[Vertex, int] = {}
+    n_comps = 0
+    for root in ordered:
+        if root in comp_of:
+            continue
+        comp_of[root] = n_comps
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if y not in comp_of:
+                    comp_of[y] = n_comps
+                    stack.append(y)
+        n_comps += 1
+    lists: list[list[Vertex]] = [[] for _ in range(n_comps)]
+    for vertex in ordered:
+        lists[comp_of[vertex]].append(vertex)
+    return lists
+
+
+class _ShardedCores(Mapping):
+    """Live read-only union view over every shard's core numbers."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "ShardedOrderEngine") -> None:
+        self._owner = owner
+
+    def __getitem__(self, vertex: Vertex) -> int:
+        owner = self._owner
+        return owner._shards[owner._shard_of[vertex]].core[vertex]
+
+    def get(self, vertex: Vertex, default=None):
+        owner = self._owner
+        sid = owner._shard_of.get(vertex)
+        if sid is None:
+            return default
+        return owner._shards[sid].core[vertex]
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._owner._shard_of
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._owner._shard_of)
+
+    def __len__(self) -> int:
+        return len(self._owner._shard_of)
+
+
+class _ShardedMcd(Mapping):
+    """Live read-only union view over every shard's ``mcd`` slice."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "ShardedOrderEngine") -> None:
+        self._owner = owner
+
+    def __getitem__(self, vertex: Vertex) -> int:
+        owner = self._owner
+        return owner._shards[owner._shard_of[vertex]].mcd[vertex]
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._owner._shard_of)
+
+    def __len__(self) -> int:
+        return len(self._owner._shard_of)
+
+
+class ShardedOrderEngine(CoreMaintainer):
+    """Order-based maintenance over per-component sub-engines.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index; adopted as the engine's *top-level* mirror.
+        Each connected component is materialized as its own
+        :class:`~repro.core.maintainer.OrderedCoreMaintainer` over a
+        private subgraph copy.
+    policy / seed / sequence / audit:
+        Forwarded to every sub-engine (see
+        :class:`~repro.core.maintainer.OrderedCoreMaintainer`); every
+        shard receives the *same* ``seed`` value, so construction is
+        deterministic and a single-component graph decomposes exactly
+        like the plain engine would.
+    parallel:
+        Default worker count for :meth:`apply_batch`'s lock-free
+        per-shard commits (``None``/``0`` = sequential).
+    reshard:
+        ``"off"`` (default) — shards only merge; call :meth:`reshard`
+        explicitly to split.  ``"batch"`` — after every batch containing
+        removals, the shards that batch touched are checked for
+        disconnection and split per component.
+    partition:
+        Accepted for CLI/option symmetry with the plain order engine
+        and ignored: the sharded engine always partitions by shard.
+
+    >>> from repro.graphs.undirected import DynamicGraph
+    >>> engine = ShardedOrderEngine(
+    ...     DynamicGraph([(0, 1), (1, 2), (2, 0), (8, 9)])
+    ... )
+    >>> engine.shard_count
+    2
+    >>> result = engine.insert_edge(2, 8)   # cross-shard: shards merge
+    >>> engine.shard_count, engine.shard_merges
+    (1, 1)
+    >>> engine.core_of(8)
+    1
+    """
+
+    name = "order-sharded"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        policy: str = "small",
+        seed: Optional[int] = 0,
+        audit: bool = False,
+        sequence: str = DEFAULT_SEQUENCE,
+        parallel: Optional[int] = None,
+        reshard: str = "off",
+        partition: bool = True,
+    ) -> None:
+        if reshard not in RESHARD_POLICIES:
+            raise ValueError(
+                f"unknown reshard policy {reshard!r}; "
+                f"choose from {', '.join(RESHARD_POLICIES)}"
+            )
+        super().__init__(graph)
+        self._policy = policy
+        self._seed = seed
+        self._audit = audit
+        self._sequence = sequence
+        self._parallel = parallel if parallel else None
+        self._reshard_policy = reshard
+        self._shards: dict[int, OrderedCoreMaintainer] = {}
+        self._shard_of: dict[Vertex, int] = {}
+        self._next_sid = itertools.count(1)
+        #: Cumulative protocol counters.
+        self.shard_merges = 0
+        self.shard_splits = 0
+        self.cross_region_ops = 0
+        #: Counters inherited from absorbed/split-away sub-engines, so
+        #: per-batch deltas survive shard turnover.
+        self._retired = dict.fromkeys(_COUNTER_KEYS, 0)
+        #: Persistent worker pool, created on first parallel batch and
+        #: torn down when the engine is collected (or via close()).
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_workers = 0
+        self._core_view = _ShardedCores(self)
+        self._mcd_view = _ShardedMcd(self)
+        self._build_initial_shards()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_initial_shards(self) -> None:
+        graph = self._graph
+        for ordered in _component_lists(graph.adj, graph.vertices()):
+            sub = DynamicGraph(vertices=ordered)
+            for u in ordered:
+                for w in graph.adj[u]:
+                    if not sub.has_edge(u, w):
+                        sub.add_edge(u, w)
+            self._new_shard(sub)
+
+    def _new_shard(self, subgraph: DynamicGraph) -> int:
+        sid = next(self._next_sid)
+        engine = OrderedCoreMaintainer(
+            subgraph,
+            policy=self._policy,
+            seed=self._seed,
+            audit=False,  # audited shard-wide via self.check()
+            sequence=self._sequence,
+        )
+        self._shards[sid] = engine
+        for vertex in subgraph.vertices():
+            self._shard_of[vertex] = sid
+        return sid
+
+    def _adopt_shard(self, engine: OrderedCoreMaintainer) -> int:
+        sid = next(self._next_sid)
+        self._shards[sid] = engine
+        for vertex in engine.graph.vertices():
+            self._shard_of[vertex] = sid
+        return sid
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def core(self) -> Mapping[Vertex, int]:
+        return self._core_view
+
+    @property
+    def mcd(self) -> Mapping[Vertex, int]:
+        """Maintained max-core degrees, unioned across shards."""
+        return self._mcd_view
+
+    @property
+    def sequence(self) -> str:
+        """The k-order block backend every shard uses."""
+        return self._sequence
+
+    @property
+    def shard_count(self) -> int:
+        """Number of live shards (component groups)."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[OrderedCoreMaintainer, ...]:
+        """The live sub-engines (read-only; for tests and diagnostics)."""
+        return tuple(self._shards.values())
+
+    def shard_id_of(self, vertex: Vertex) -> int:
+        """The shard currently owning ``vertex`` (``KeyError`` if none)."""
+        return self._shard_of[vertex]
+
+    @property
+    def mcd_recomputations(self) -> int:
+        """Per-vertex ``mcd`` recomputations summed across all shards,
+        including shards since merged or split away."""
+        return self._retired["mcd_recomputations"] + sum(
+            shard.mcd_recomputations for shard in self._shards.values()
+        )
+
+    @property
+    def sequence_stats(self) -> SequenceStats:
+        """Aggregated sequence-backend counters across all shards
+        (a fresh snapshot object, not a live handle)."""
+        total = SequenceStats(
+            order_queries=self._retired["order_queries"],
+            relabels=self._retired["relabels"],
+            rank_walk_steps=self._retired["rank_walk_steps"],
+        )
+        for shard in self._shards.values():
+            stats = shard.korder.stats
+            total.order_queries += stats.order_queries
+            total.relabels += stats.relabels
+            total.rank_walk_steps += stats.rank_walk_steps
+        return total
+
+    def order(self) -> list[Vertex]:
+        """A valid k-order of the whole graph: per level, shard blocks
+        concatenated in shard-id order."""
+        levels: dict[int, list[Vertex]] = {}
+        for sid in sorted(self._shards):
+            korder = self._shards[sid].korder
+            for k in sorted(korder.block_sizes()):
+                levels.setdefault(k, []).extend(korder.iter_block(k))
+        out: list[Vertex] = []
+        for k in sorted(levels):
+            out.extend(levels[k])
+        return out
+
+    # ------------------------------------------------------------------
+    # Per-edge updates
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> bool:
+        if not self._graph.add_vertex(vertex):
+            return False
+        self._new_shard(DynamicGraph(vertices=[vertex]))
+        return True
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Insert ``(u, v)``; merges shards first if the edge crosses."""
+        self._resolve_insert(u, v)
+        shard = self._shards[self._shard_of[u]]
+        result = shard.insert_edge(u, v)
+        self._graph.add_edge(u, v)
+        if self._audit:
+            self.check()
+        return result
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Remove ``(u, v)`` from its owning shard."""
+        sid = self._owning_shard(u, v)
+        result = self._shards[sid].remove_edge(u, v)
+        self._graph.remove_edge(u, v)
+        if self._reshard_policy == "batch":
+            self._split_shard(sid)
+        if self._audit:
+            self.check()
+        return result
+
+    def _owning_shard(self, u: Vertex, v: Vertex) -> int:
+        su = self._shard_of.get(u)
+        sv = self._shard_of.get(v)
+        if su is None or su != sv:
+            raise EdgeNotFoundError(u, v)
+        return su
+
+    def _resolve_insert(self, u: Vertex, v: Vertex) -> None:
+        """Make ``(u, v)`` intra-shard: merge or create shards as needed.
+
+        New endpoints are registered eagerly (in their shard *and* the
+        top-level mirror), so shard membership always follows graph
+        membership — a later merge can never strand a pending
+        assignment.  Resolution is semantically neutral: merges only
+        coarsen the sharding and an isolated vertex has core 0, so
+        resolving up front leaves no inconsistent state even if the
+        batch later fails.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        su = self._shard_of.get(u)
+        sv = self._shard_of.get(v)
+        if su is None and sv is None:
+            self._new_shard(DynamicGraph(vertices=[u, v]))
+            self._graph.add_vertex(u)
+            self._graph.add_vertex(v)
+        elif su is None:
+            self._shards[sv].add_vertex(u)
+            self._shard_of[u] = sv
+            self._graph.add_vertex(u)
+        elif sv is None:
+            self._shards[su].add_vertex(v)
+            self._shard_of[v] = su
+            self._graph.add_vertex(v)
+        elif su != sv:
+            self.cross_region_ops += 1
+            self._merge_shards(su, sv)
+
+    def _merge_shards(self, sa: int, sb: int) -> int:
+        """Absorb the smaller of two shards into the larger (O(smaller));
+        returns the surviving shard id."""
+        if len(self._shards[sa].graph) < len(self._shards[sb].graph):
+            sa, sb = sb, sa
+        big = self._shards[sa]
+        small = self._shards.pop(sb)
+        big_graph = big.graph
+        for vertex in small.graph.vertices():
+            big_graph.add_vertex(vertex)
+            self._shard_of[vertex] = sa
+        for u, v in small.graph.edges():
+            big_graph.add_edge(u, v)
+        big._core.update(small._core)
+        big._mcd.update(small.mcd)
+        big_korder = big.korder
+        small_korder = small.korder
+        # Per level, append the absorbed block behind the survivor's:
+        # disjoint components share no edges, so deg+ is unchanged and
+        # Lemma 5.1 holds for the concatenation.
+        for k in sorted(small_korder.block_sizes()):
+            for vertex in small_korder.iter_block(k):
+                big_korder.append(k, vertex)
+        big_korder.deg_plus.update(small_korder.deg_plus)
+        self._retire_counters(small)
+        self.shard_merges += 1
+        return sa
+
+    def _retire_counters(self, engine: OrderedCoreMaintainer) -> None:
+        stats = engine.korder.stats
+        retired = self._retired
+        retired["order_queries"] += stats.order_queries
+        retired["relabels"] += stats.relabels
+        retired["rank_walk_steps"] += stats.rank_walk_steps
+        retired["mcd_recomputations"] += engine.mcd_recomputations
+
+    def _forget_vertex(self, vertex: Vertex) -> None:
+        sid = self._shard_of.pop(vertex, None)
+        if sid is None:
+            return
+        shard = self._shards[sid]
+        shard.graph.remove_vertex(vertex)
+        shard._forget_vertex(vertex)
+        if not shard.graph.n:
+            self._retire_counters(shard)
+            del self._shards[sid]
+
+    # ------------------------------------------------------------------
+    # Re-sharding (targeted splits)
+    # ------------------------------------------------------------------
+
+    def reshard(self) -> int:
+        """Split every disconnected shard into per-component shards.
+
+        Returns the number of *new* shards created (0 when every shard
+        is already connected).  O(sum of split shard sizes); connected
+        shards cost one BFS each.  Splitting moves index state — order,
+        ``deg+``, ``mcd`` — without recomputation.
+        """
+        created = 0
+        for sid in list(self._shards):
+            created += self._split_shard(sid)
+        return created
+
+    def _split_shard(self, sid: int) -> int:
+        """Split shard ``sid`` per component if disconnected; returns the
+        number of new shards created."""
+        shard = self._shards.get(sid)
+        if shard is None or not shard.graph.n:
+            return 0
+        graph = shard.graph
+        # Component lists in the shard's k-order: the global order
+        # restricted to a component is a valid k-order of it, so each
+        # new sub-engine is rebuilt from existing (valid) index state —
+        # no recomputation.
+        components = _component_lists(graph.adj, shard.order())
+        if len(components) <= 1:
+            return 0
+        core, mcd = shard._core, shard._mcd
+        deg_plus = shard.korder.deg_plus
+        self._retire_counters(shard)
+        del self._shards[sid]
+        for comp_order in components:
+            sub = DynamicGraph(vertices=comp_order)
+            for u in comp_order:
+                for w in graph.adj[u]:
+                    if not sub.has_edge(u, w):
+                        sub.add_edge(u, w)
+            engine = OrderedCoreMaintainer.from_index_state(
+                sub,
+                comp_order,
+                {v: core[v] for v in comp_order},
+                {v: deg_plus[v] for v in comp_order},
+                {v: mcd[v] for v in comp_order},
+                sequence=self._sequence,
+                seed=self._seed,
+            )
+            self._adopt_shard(engine)
+        self.shard_splits += len(components) - 1
+        return len(components) - 1
+
+    # ------------------------------------------------------------------
+    # Batch pipeline (the lock-free schedule)
+    # ------------------------------------------------------------------
+
+    def apply_batch(
+        self, batch: Batch, parallel: Optional[int] = None
+    ) -> BatchResult:
+        """Apply a mixed batch shard by shard, without an engine lock.
+
+        Three phases:
+
+        1. **Resolve** (single-threaded): every op is made intra-shard —
+           cross-shard inserts merge their shards
+           (``shard_merges``/``cross_region_ops``), inserts touching new
+           vertices assign or create shards — then ops are grouped into
+           per-shard sub-batches, preserving per-edge op order.  O(batch)
+           plus merge costs; no graph walk.
+        2. **Commit**: each sub-batch goes through its own sub-engine's
+           ``apply_batch`` (run coalescing included).  With ``parallel``
+           workers (per-call override of the engine default) sub-batches
+           commit from a thread pool with **no shared-state lock** —
+           shards are disjoint by construction.
+        3. **Aggregate** (single-threaded): the top-level graph mirror is
+           trued up from the shard graphs, results and counters are
+           merged, and (under ``reshard="batch"``) shards that removed
+           edges are split per component if disconnected.
+
+        Same contracts as the plain order engine: ``results`` keeps
+        per-op detail only for removal-free batches (restored to batch op
+        order); ``changed``/``visited`` are always exact.
+        """
+        started = time.perf_counter()
+        baseline = self._batch_counters()
+        if parallel is None:
+            parallel = self._parallel
+
+        # Phase 1a: resolve every insert first (merges / shard creation),
+        # so a late cross-shard insert cannot merge away a shard that an
+        # earlier op was already grouped under.
+        for op in batch:
+            if op.kind == "insert":
+                self._resolve_insert(*op.edge)
+        # Phase 1b: group ops under the now-stable shard assignment.  A
+        # removal whose edge cannot exist (endpoints unknown or in
+        # different shards) aborts here, before anything commits — the
+        # service pre-validates, so only raw callers ever see this.
+        regions: dict[int, list[BatchOp]] = {}
+        removal_sids: set[int] = set()
+        for op in batch:
+            u, v = op.edge
+            if op.kind == "insert":
+                sid = self._shard_of[u]
+            else:
+                sid = self._shard_of.get(u)
+                if sid is None or sid != self._shard_of.get(v):
+                    raise EdgeNotFoundError(u, v)
+                removal_sids.add(sid)
+            regions.setdefault(sid, []).append(op)
+
+        sub_batches = [(sid, Batch(ops)) for sid, ops in regions.items()]
+
+        # Phase 2: commit sub-batches — in a pool when asked, lock-free.
+        outcomes: list[Optional[BatchResult]] = [None] * len(sub_batches)
+        parallel_commits = 0
+        try:
+            if parallel and len(sub_batches) > 1:
+                parallel_commits = len(sub_batches)
+                pool = self._get_pool(parallel)
+                futures = [
+                    pool.submit(self._shards[sid].apply_batch, sub)
+                    for sid, sub in sub_batches
+                ]
+                # Wait for EVERY worker — success or failure — before
+                # touching shared state: the finally-block mirror sync
+                # must never observe a shard mid-commit.
+                wait(futures)
+                for index, future in enumerate(futures):
+                    outcomes[index] = future.result()  # re-raises errors
+            else:
+                for index, (sid, sub) in enumerate(sub_batches):
+                    outcomes[index] = self._shards[sid].apply_batch(sub)
+        finally:
+            # Phase 3a: true up the top-level mirror from the shard
+            # graphs — runs even on a mid-batch engine error, so the
+            # mirror tracks exactly what landed.
+            for sid, sub in sub_batches:
+                self._sync_region(sid, sub)
+
+        inserts = removes = visited = 0
+        results: Optional[list[UpdateResult]] = []
+        changed: dict[Vertex, int] = {}
+        for outcome in outcomes:
+            inserts += outcome.inserts
+            removes += outcome.removes
+            visited += outcome.visited
+            if outcome.results is None:
+                results = None
+            if results is not None:
+                results.extend(outcome.results)
+            merge_deltas(changed, outcome.changed.items())
+        if results is not None and len(sub_batches) > 1:
+            positions = {op.edge: i for i, op in enumerate(batch)}
+            results.sort(key=lambda r: positions[r.edge])
+
+        if self._reshard_policy == "batch":
+            for sid in removal_sids:
+                self._split_shard(sid)
+
+        counters = self._counter_deltas(baseline)
+        counters["shards"] = len(self._shards)
+        counters["regions"] = len(sub_batches)
+        counters["region_max_size"] = max(
+            (len(sub) for _, sub in sub_batches), default=0
+        )
+        counters["parallel_commits"] = parallel_commits
+        if self._audit:
+            self.check()
+        return BatchResult(
+            engine=self.name,
+            inserts=inserts,
+            removes=removes,
+            changed=changed,
+            visited=visited,
+            seconds=time.perf_counter() - started,
+            results=results,
+            counters=counters,
+        )
+
+    def _get_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The engine's persistent worker pool, (re)sized on demand.
+
+        Created once and reused across batches — per-batch pool setup
+        would otherwise dominate small commits.  A finalizer tears it
+        down when the engine is collected; :meth:`close` does so
+        eagerly.
+        """
+        if self._pool is None or self._pool_workers != workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            self._pool_workers = workers
+            weakref.finalize(
+                self, ThreadPoolExecutor.shutdown, self._pool, wait=False
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the engine stays
+        usable — the pool is recreated on the next parallel batch)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._pool_workers = 0
+
+    def _sync_region(self, sid: int, sub: Batch) -> None:
+        """Mirror one sub-batch's final edge states onto the top graph.
+
+        Driven by the *shard* graph's post-commit truth, so a sub-batch
+        that failed mid-run (engine error) still leaves the mirror
+        consistent with what actually landed.
+        """
+        shard = self._shards[sid]
+        top = self._graph
+        shard_graph = shard.graph
+        for op in sub:
+            u, v = op.edge
+            present = shard_graph.has_edge(u, v)
+            if present and not top.has_edge(u, v):
+                top.add_edge(u, v)
+            elif not present and top.has_edge(u, v):
+                top.remove_edge(u, v)
+            for x in (u, v):
+                if shard_graph.has_vertex(x):
+                    top.add_vertex(x)  # no-op when already mirrored
+
+    def _batch_counters(self) -> dict[str, int]:
+        counters = dict(self._retired)
+        for shard in self._shards.values():
+            stats = shard.korder.stats
+            counters["order_queries"] += stats.order_queries
+            counters["relabels"] += stats.relabels
+            counters["rank_walk_steps"] += stats.rank_walk_steps
+            counters["mcd_recomputations"] += shard.mcd_recomputations
+        counters["shard_merges"] = self.shard_merges
+        counters["shard_splits"] = self.shard_splits
+        counters["cross_region_ops"] = self.cross_region_ops
+        return counters
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Audit every shard plus the sharding invariants themselves.
+
+        Raises :class:`~repro.errors.InvariantViolationError` when a
+        shard's index is broken, when the shard assignment disagrees
+        with the shard graphs, or when the top-level mirror diverges
+        from the union of shard graphs.
+        """
+        seen: set[Vertex] = set()
+        total_edges = 0
+        for sid, shard in self._shards.items():
+            shard.check()
+            total_edges += shard.graph.m
+            for vertex in shard.graph.vertices():
+                if self._shard_of.get(vertex) != sid:
+                    raise InvariantViolationError(
+                        f"{vertex!r} in shard {sid} but assigned to "
+                        f"{self._shard_of.get(vertex)!r}"
+                    )
+                if vertex in seen:
+                    raise InvariantViolationError(
+                        f"{vertex!r} appears in two shards"
+                    )
+                seen.add(vertex)
+                if shard.graph.adj[vertex] != self._graph.adj.get(vertex):
+                    raise InvariantViolationError(
+                        f"mirror adjacency of {vertex!r} diverged from "
+                        f"its shard"
+                    )
+        if seen != set(self._graph.vertices()):
+            raise InvariantViolationError(
+                "shard vertex union does not match the top-level graph"
+            )
+        if total_edges != self._graph.m:
+            raise InvariantViolationError(
+                f"shards hold {total_edges} edges, mirror has "
+                f"{self._graph.m}"
+            )

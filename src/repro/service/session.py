@@ -86,9 +86,14 @@ class CoreService:
         ``graph`` may be a :class:`~repro.graphs.undirected.DynamicGraph`
         (adopted as-is), any iterable of edges, or ``None`` for an empty
         graph.  ``engine`` is any :func:`~repro.engine.registry.make_engine`
-        name (``"order"``, ``"order-treap"``, ``"trav-<h>"``,
-        ``"naive"``, …); extra options go to the engine factory, which
-        rejects names it does not understand.
+        name (``"order"``, ``"order-treap"``, ``"order-sharded"``,
+        ``"trav-<h>"``, ``"naive"``, …); extra options go to the engine
+        factory, which rejects names it does not understand.
+
+        >>> CoreService.open([(0, 1)], engine="naive").engine_name
+        'naive'
+        >>> CoreService.open().graph.n        # empty session
+        0
         """
         if graph is None:
             graph = DynamicGraph()
@@ -258,7 +263,11 @@ class CoreService:
         return kcore_views.top_cores(self._engine.core, n)
 
     def spectrum(self) -> dict[int, int]:
-        """Map ``k -> |k-shell|`` for every non-empty shell."""
+        """Map ``k -> |k-shell|`` for every non-empty shell.
+
+        >>> CoreService.open([(0, 1), (1, 2), (2, 0), (2, 3)]).spectrum()
+        {1: 1, 2: 3}
+        """
         return kcore_views.core_spectrum(self._engine.core)
 
     # ------------------------------------------------------------------
@@ -279,6 +288,15 @@ class CoreService:
         as a context manager) to stop.  A callback that raises aborts
         the remaining dispatch and propagates out of the commit; the
         commit itself is already applied.
+
+        >>> svc = CoreService.open([(0, 1), (1, 2), (2, 0)])
+        >>> sub = svc.subscribe(
+        ...     lambda e: print(e.vertex, e.old_core, "->", e.new_core)
+        ... )
+        >>> receipt = svc.insert(0, 3)
+        3 0 -> 1
+        >>> sub.close()
+        >>> receipt = svc.insert(1, 3)   # closed: nothing printed
         """
         subscription = Subscription(self, callback, min_k)
         self._subscribers.append(subscription)

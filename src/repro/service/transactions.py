@@ -122,12 +122,21 @@ class CommitReceipt:
 class Transaction:
     """An open unit of work against a :class:`CoreService`.
 
-    Use as a context manager (the usual shape)::
+    Use as a context manager (the usual shape):
 
-        with service.transaction() as tx:
-            tx.insert(u, v)
-            tx.remove(x, y)
-        tx.receipt  # the CommitReceipt
+    >>> from repro.service.session import CoreService
+    >>> svc = CoreService.open([(0, 1), (1, 2), (2, 0)])
+    >>> with svc.transaction() as tx:
+    ...     _ = tx.insert(0, 3).insert(1, 3)
+    >>> tx.state
+    'committed'
+    >>> tx.receipt.deltas
+    {3: 2}
+    >>> with svc.transaction() as tx:
+    ...     _ = tx.remove(0, 1)
+    ...     tx.rollback()
+    >>> svc.graph.has_edge(0, 1)   # nothing reached the engine
+    True
 
     Leaving the block commits; leaving it on an exception rolls back —
     nothing recorded reaches the engine.  :meth:`commit` and

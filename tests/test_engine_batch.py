@@ -19,7 +19,6 @@ from repro.engine import (
     Batch,
     BatchResult,
     CoreMaintainer,
-    UpdateResult,
     available_engines,
     engine_options,
     make_engine,
@@ -104,16 +103,11 @@ class TestRegistry:
             make_engine("naive-alias", DynamicGraph()), NaiveCoreMaintainer
         )
 
-    def test_core_base_shim_reexports_engine_base_with_deprecation(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.core.base", None)
-        with pytest.warns(DeprecationWarning, match="repro.engine.base"):
-            shim = importlib.import_module("repro.core.base")
-
-        assert shim.CoreMaintainer is CoreMaintainer
-        assert shim.UpdateResult is UpdateResult
+    def test_core_base_shim_is_gone(self):
+        # The deprecated repro.core.base re-export shim had one release
+        # of warning time (PR 4) and is now removed for good.
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.base  # noqa: F401
 
     def test_sequence_backend_selection(self):
         graph = DynamicGraph([(0, 1), (1, 2), (2, 0)])
@@ -140,6 +134,7 @@ class TestEngineOptionValidation:
         ("order-random", {"seed": 3}),
         ("order-om", {"partition": True}),
         ("order-treap", {"parallel": 2}),
+        ("order-sharded", {"parallel": 2, "reshard": "batch"}),
         ("naive", {"seed": 1}),
         ("trav", {"audit": True}),
         ("trav-2", {"seed": 1}),

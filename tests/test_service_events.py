@@ -21,8 +21,10 @@ from repro.graphs.undirected import DynamicGraph
 from repro.service import CoreService
 
 #: "order" is the OM-list-backed engine (the default); "order-treap"
-#: runs the same algorithm over the treap backend.
-BACKENDS = ("order", "order-treap")
+#: runs the same algorithm over the treap backend; "order-sharded"
+#: commits through per-component sub-engines — all three must tell the
+#: subscriber the same story.
+BACKENDS = ("order", "order-treap", "order-sharded")
 
 
 def mixed_batch_stream(rng, n_batches, batch_size, universe):

@@ -1,0 +1,385 @@
+"""Tests for the sharded order engine (``order-sharded``).
+
+Three layers of guarantees:
+
+* **protocol** — shards materialize per component, cross-shard inserts
+  merge (O(smaller), no recomputation), targeted re-shards split
+  disconnected shards, and the counters (``shards``, ``shard_merges``,
+  ``shard_splits``, ``cross_region_ops``, ``parallel_commits``) tell
+  that story in ``BatchResult.counters``;
+* **boundary cases** — cross-region edges arriving mid-batch,
+  merge-then-remove on the seam, batches over brand-new vertices,
+  removal of edges that cannot exist;
+* **degeneration** — on a single-component graph the sharded engine is
+  the plain order engine, byte-for-byte on snapshots, and the
+  hypothesis oracle pins batch agreement on both sequence backends,
+  with and without the lock-free parallel pool.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers
+from repro.core.snapshot import to_snapshot
+from repro.engine import Batch, make_engine
+from repro.engine.sharded import ShardedOrderEngine
+from repro.errors import EdgeNotFoundError, ServiceError
+from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreService
+
+
+def pockets_graph(n_pockets=3, size=6, seed=0):
+    """Disconnected random pockets; returns (edges, per-pocket edges)."""
+    rng = random.Random(seed)
+    pockets = []
+    for b in range(n_pockets):
+        base = b * 100
+        verts = range(base, base + size)
+        pairs = [(i, j) for i in verts for j in verts if i < j]
+        rng.shuffle(pairs)
+        pockets.append(pairs[: size + 3])
+    return [e for p in pockets for e in p], pockets
+
+
+class TestShardProtocol:
+    def test_one_shard_per_component(self):
+        edges, pockets = pockets_graph(4)
+        engine = make_engine("order-sharded", DynamicGraph(edges))
+        assert isinstance(engine, ShardedOrderEngine)
+        assert engine.shard_count == 4
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        # Every pocket's vertices share one shard id.
+        for pocket in pockets:
+            sids = {engine.shard_id_of(v) for e in pocket for v in e}
+            assert len(sids) == 1
+
+    def test_cross_shard_insert_merges(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        result = engine.insert_edge(0, 100)
+        assert engine.shard_count == 1
+        assert engine.shard_merges == 1
+        assert engine.cross_region_ops == 1
+        assert result.kind == "insert"
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_merge_preserves_counters_across_turnover(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges))
+        engine.apply_batch(Batch.removes(edges[:2]))
+        before = engine.mcd_recomputations
+        stats_before = engine.sequence_stats.order_queries
+        engine.insert_edge(0, 100)  # merge retires the smaller engine
+        assert engine.mcd_recomputations >= before
+        assert engine.sequence_stats.order_queries >= stats_before
+
+    def test_reshard_splits_disconnected_shard(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        engine.insert_edge(0, 100)
+        assert engine.shard_count == 1
+        engine.remove_edge(0, 100)
+        assert engine.shard_count == 1  # removals never split eagerly
+        created = engine.reshard()
+        assert created == 1
+        assert engine.shard_count == 2
+        assert engine.shard_splits == 1
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        assert engine.reshard() == 0  # already per-component
+
+    def test_reshard_batch_policy_splits_after_removal_batches(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine(
+            "order-sharded", DynamicGraph(edges), reshard="batch", audit=True
+        )
+        engine.apply_batch(Batch.inserts([(0, 100)]))
+        assert engine.shard_count == 1
+        result = engine.apply_batch(Batch.removes([(0, 100)]))
+        assert engine.shard_count == 2
+        assert result.counters["shards"] == 2
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_unknown_reshard_policy_rejected(self):
+        with pytest.raises(ValueError, match="reshard policy"):
+            make_engine("order-sharded", DynamicGraph(), reshard="eager")
+
+    def test_counters_flow_into_batch_result(self):
+        edges, _ = pockets_graph(3)
+        engine = make_engine("order-sharded", DynamicGraph(edges))
+        result = engine.apply_batch(
+            Batch.removes([edges[0], edges[9], edges[18]])
+        )
+        counters = result.counters
+        assert counters["shards"] == 3
+        assert counters["regions"] == 3
+        assert counters["region_max_size"] == 1
+        assert counters["shard_merges"] == 0
+        assert counters["cross_region_ops"] == 0
+        assert counters["parallel_commits"] == 0
+        assert "mcd_recomputations" in counters
+        assert "order_queries" in counters
+
+    def test_parallel_commits_run_without_engine_lock(self):
+        edges, pockets = pockets_graph(4)
+        serial = make_engine("order", DynamicGraph(edges))
+        engine = make_engine(
+            "order-sharded", DynamicGraph(edges), parallel=3, audit=True
+        )
+        batch = Batch()
+        for pocket in pockets:
+            for edge in pocket[:3]:
+                batch.remove(*edge)
+        serial.apply_batch(batch)
+        result = engine.apply_batch(batch)
+        assert result.counters["parallel_commits"] == 4
+        assert result.counters["regions"] == 4
+        assert engine.core_numbers() == serial.core_numbers()
+
+    def test_order_is_a_valid_global_korder(self):
+        edges, _ = pockets_graph(3)
+        engine = make_engine("order-sharded", DynamicGraph(edges))
+        order = engine.order()
+        assert sorted(order, key=repr) == sorted(
+            engine.graph.vertices(), key=repr
+        )
+        cores = engine.core
+        assert all(
+            cores[order[i]] <= cores[order[i + 1]]
+            for i in range(len(order) - 1)
+        )
+
+    def test_service_wiring_and_snapshot_rejection(self, tmp_path):
+        svc = CoreService.open(
+            [(0, 1), (1, 2), (2, 0), (5, 6)], engine="order-sharded"
+        )
+        with svc.transaction() as tx:
+            tx.insert(2, 5)
+        assert tx.receipt.counters["shard_merges"] == 1
+        assert svc.core(5) == 1
+        with pytest.raises(ServiceError, match="snapshot"):
+            svc.save(tmp_path / "index.json")
+
+
+class TestShardBoundaries:
+    def test_cross_region_edge_arriving_mid_batch(self):
+        """A batch that starts intra-shard and then bridges two shards
+        mid-stream must merge and keep every op's effect."""
+        edges, pockets = pockets_graph(2)
+        serial = make_engine("order", DynamicGraph(edges))
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        batch = (
+            Batch()
+            .remove(*pockets[0][0])
+            .insert(0, 100)  # the cross-region edge, mid-batch
+            .remove(*pockets[1][0])
+        )
+        serial.apply_batch(batch)
+        result = engine.apply_batch(batch)
+        assert engine.core_numbers() == serial.core_numbers()
+        assert result.counters["shard_merges"] == 1
+        assert result.counters["cross_region_ops"] == 1
+        assert result.counters["regions"] == 1  # merged before grouping
+        assert engine.shard_count == 1
+
+    def test_merge_then_remove_on_the_seam(self):
+        """Insert a bridging edge and remove it again in one batch: the
+        conflicting ops keep their order, the merge stays (sharding is
+        allowed to be coarse), and cores end where they started."""
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        before = engine.core_numbers()
+        batch = Batch().insert(0, 100).remove(0, 100)
+        result = engine.apply_batch(batch)
+        assert engine.core_numbers() == before
+        assert result.counters["shard_merges"] == 1
+        assert engine.shard_count == 1  # merged, not eagerly re-split
+        assert not engine.graph.has_edge(0, 100)
+        # A reshard recovers the fine-grained sharding.
+        engine.reshard()
+        assert engine.shard_count == 2
+        assert engine.core_numbers() == before
+
+    def test_seam_remove_with_batch_reshard_policy(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine(
+            "order-sharded", DynamicGraph(edges), reshard="batch", audit=True
+        )
+        result = engine.apply_batch(Batch().insert(0, 100).remove(0, 100))
+        assert result.counters["shard_merges"] == 1
+        assert engine.shard_count == 2  # split back at the batch boundary
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_batch_over_brand_new_vertices(self):
+        engine = make_engine("order-sharded", DynamicGraph(), audit=True)
+        batch = Batch.inserts([("a", "b"), ("b", "c"), ("x", "y")])
+        result = engine.apply_batch(batch)
+        assert engine.shard_count == 2
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        assert result.inserts == 3
+        # Insert-only batches keep per-op results in batch op order.
+        assert [r.edge for r in result.results] == [
+            op.edge for op in batch
+        ]
+
+    def test_new_vertex_bridging_two_shards(self):
+        """A new vertex whose edges land in two different pockets chains
+        the merges through its own assignment."""
+        edges, _ = pockets_graph(2)
+        serial = make_engine("order", DynamicGraph(edges))
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        batch = Batch.inserts([(0, "hub"), (100, "hub")])
+        serial.apply_batch(batch)
+        engine.apply_batch(batch)
+        assert engine.shard_count == 1
+        assert engine.core_numbers() == serial.core_numbers()
+
+    def test_remove_across_shards_raises_edge_not_found(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges))
+        with pytest.raises(EdgeNotFoundError):
+            engine.remove_edge(0, 100)
+        with pytest.raises(EdgeNotFoundError):
+            engine.apply_batch(Batch.removes([(0, 100)]))
+        # Nothing committed, nothing corrupted.
+        engine.check()
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_parallel_mid_batch_error_leaves_mirror_consistent(self):
+        """An invalid intra-shard removal raises from its sub-engine
+        mid-commit; the mirror sync must wait for every worker, so the
+        landed edges of *all* shards end up mirrored exactly."""
+        edges, pockets = pockets_graph(3)
+        engine = make_engine("order-sharded", DynamicGraph(edges), parallel=2)
+        batch = Batch()
+        for pocket in pockets:
+            for edge in pocket[:4]:
+                batch.remove(*edge)
+        # Same-shard endpoints whose edge does not exist: passes the
+        # grouping check, fails inside the sub-engine.
+        pocket_vertices = sorted({v for e in pockets[0] for v in e})
+        present = set(pockets[0]) | {(b, a) for a, b in pockets[0]}
+        missing = next(
+            (a, b)
+            for a in pocket_vertices
+            for b in pocket_vertices
+            if a < b and (a, b) not in present
+        )
+        batch.remove(*missing)
+        with pytest.raises(EdgeNotFoundError):
+            engine.apply_batch(batch)
+        engine.check()  # shards, assignment and mirror all consistent
+        assert engine.core_numbers() == core_numbers(engine.graph)
+
+    def test_vertex_removal_through_the_shards(self):
+        edges, _ = pockets_graph(2)
+        engine = make_engine("order-sharded", DynamicGraph(edges), audit=True)
+        engine.insert_edge(0, 100)
+        engine.remove_vertex(0)
+        assert not engine.graph.has_vertex(0)
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        engine.check()
+
+    def test_add_vertex_creates_singleton_shard(self):
+        engine = make_engine("order-sharded", DynamicGraph([(0, 1)]))
+        assert engine.add_vertex("lonely") is True
+        assert engine.add_vertex("lonely") is False
+        assert engine.shard_count == 2
+        assert engine.core["lonely"] == 0
+
+
+class TestSingleShardDegeneration:
+    """One component ⇒ the sharded engine *is* the plain order engine."""
+
+    EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0), (1, 4)]
+
+    @pytest.mark.parametrize("sequence", ["om", "treap"])
+    def test_snapshot_byte_for_byte(self, sequence):
+        plain = make_engine(
+            "order", DynamicGraph(self.EDGES), sequence=sequence
+        )
+        sharded = make_engine(
+            "order-sharded", DynamicGraph(self.EDGES), sequence=sequence
+        )
+        assert sharded.shard_count == 1
+        (sub,) = sharded.shards
+        assert json.dumps(to_snapshot(sub)) == json.dumps(to_snapshot(plain))
+
+    @pytest.mark.parametrize("sequence", ["om", "treap"])
+    def test_snapshot_byte_for_byte_after_updates(self, sequence):
+        plain = make_engine(
+            "order", DynamicGraph(self.EDGES), sequence=sequence
+        )
+        sharded = make_engine(
+            "order-sharded", DynamicGraph(self.EDGES), sequence=sequence
+        )
+        batch = Batch().insert(4, 5).insert(5, 0).remove(1, 2).insert(3, 0)
+        plain.apply_batch(batch)
+        sharded.apply_batch(batch)
+        (sub,) = sharded.shards
+        assert json.dumps(to_snapshot(sub)) == json.dumps(to_snapshot(plain))
+
+
+class TestShardedOracle:
+    """Hypothesis: the sharded engine tracks the from-scratch oracle and
+    the plain order engine under arbitrary valid mixed batches, on both
+    sequence backends, sequentially and through the lock-free pool."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        sequence=st.sampled_from(["om", "treap"]),
+        parallel=st.sampled_from([None, 3]),
+        data=st.data(),
+    )
+    def test_sharded_matches_plain_and_recompute(
+        self, seed, sequence, parallel, data
+    ):
+        rng = random.Random(seed)
+        # Several pockets so batches genuinely span shards.
+        pairs = []
+        for b in range(3):
+            base = b * 50
+            verts = range(base, base + 8)
+            pairs.extend((i, j) for i in verts for j in verts if i < j)
+        bridges = [(i, 50 + i) for i in range(8)] + [
+            (50 + i, 100 + i) for i in range(8)
+        ]
+        rng.shuffle(pairs)
+        m = data.draw(st.integers(10, len(pairs)), label="m")
+        base_edges, spare = pairs[:m], pairs[m:] + bridges
+        plain = make_engine(
+            "order", DynamicGraph(base_edges), seed=seed, sequence=sequence
+        )
+        sharded = make_engine(
+            "order-sharded", DynamicGraph(base_edges), seed=seed,
+            sequence=sequence, parallel=parallel, audit=True,
+            reshard=data.draw(
+                st.sampled_from(["off", "batch"]), label="reshard"
+            ),
+        )
+        for _ in range(data.draw(st.integers(1, 3), label="rounds")):
+            batch = Batch()
+            present = list(plain.graph.edges())
+            for edge in rng.sample(
+                present,
+                min(len(present), data.draw(st.integers(0, 8), label="rm")),
+            ):
+                batch.remove(*edge)
+            for edge in spare[: data.draw(st.integers(0, 6), label="ins")]:
+                if not plain.graph.has_edge(*edge):
+                    batch.insert(*edge)
+            spare = spare[6:] + spare[:6]  # rotate the insert pool
+            if not batch:
+                continue
+            plain.apply_batch(batch)
+            sharded.apply_batch(batch)
+            assert sharded.core_numbers() == plain.core_numbers()
+            assert sharded.core_numbers() == core_numbers(sharded.graph)
