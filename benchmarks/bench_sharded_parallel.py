@@ -184,7 +184,8 @@ def bench_window_expiry_sharded_vs_locked(benchmark, sequence):
     )
     assert sharded_results[0].counters["shards"] == POCKETS
     assert all(
-        r.counters["shard_merges"] == 0 for r in sharded_results
+        # Omitted when no merge machinery ever ran (counter hygiene).
+        r.counters.get("shard_merges", 0) == 0 for r in sharded_results
     )
     entry = _record(
         f"window_expiry[{sequence}]", ops,

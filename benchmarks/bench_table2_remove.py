@@ -3,6 +3,11 @@
 Paper shape: OrderRemoval wins everywhere except the road network (CA),
 whose tiny average degree makes pcd maintenance cheap; Trav-h removal
 degrades steeply as h grows (deeper hierarchy to repair, no search gain).
+
+``order-simplified`` rides the same replay: removal is where dropping
+the per-edge ``mcd`` refresh should show, so it must stay in the order
+family's ballpark (the counter-level head-to-head lives in
+``bench_simplified_ablation.py``).
 """
 
 import pytest
@@ -11,6 +16,7 @@ from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
 from repro.bench import experiments
 
 HOPS = (2, 3)
+ENGINES = ["order", "order-simplified"] + [f"trav-{h}" for h in HOPS]
 
 
 @pytest.mark.parametrize("dataset", ["facebook", "gowalla", "patents"])
@@ -20,16 +26,25 @@ def bench_table2_remove(benchmark, dataset):
         experiments.table2,
         dataset,
         n_updates=BENCH_UPDATES,
-        hops=HOPS,
         scale=BENCH_SCALE,
         seed=BENCH_SEED,
+        engines=ENGINES,
     )
     assert row.remove_seconds["order"] < row.remove_seconds["trav-2"], (
         "OrderRemoval must beat Trav-2 off the road network (Table II)"
     )
     # Deeper hierarchies pay more maintenance on removals.
     assert row.remove_seconds["trav-3"] > row.remove_seconds["trav-2"]
+    # No per-edge mcd refresh: the simplified removal must stay within
+    # timer noise of the default order hot path.
+    assert (
+        row.remove_seconds["order-simplified"]
+        < row.remove_seconds["order"] * 2 + 0.05
+    ), "simplified removal left the order family's ballpark"
     benchmark.extra_info["order_s"] = round(row.remove_seconds["order"], 3)
+    benchmark.extra_info["simplified_s"] = round(
+        row.remove_seconds["order-simplified"], 3
+    )
     benchmark.extra_info["trav2_s"] = round(row.remove_seconds["trav-2"], 3)
     benchmark.extra_info["trav3_s"] = round(row.remove_seconds["trav-3"], 3)
 

@@ -298,15 +298,23 @@ def table2(
     hops: Sequence[int] = DEFAULT_HOPS,
     scale: Optional[float] = None,
     seed: int = 42,
+    engines: Optional[Sequence[str]] = None,
 ) -> Table2Row:
     """Table II: accumulated insert / remove time per engine.
 
     Following the paper: insert the update edges one by one into the base
     graph, then remove those same edges from the resulting full graph.
+
+    ``engines`` overrides the engine list (any registry names); the
+    default replays the paper's lineup — ``order`` against ``trav-<h>``
+    for every hop count.  The ablation benches pass e.g.
+    ``["order", "order-simplified"]`` to race the two order-family
+    engines on identical workloads.
     """
     dataset = load_dataset(name, scale=scale, seed=seed)
     workload = make_workload(dataset, n_updates, seed=seed)
-    engines = ["order"] + [f"trav-{h}" for h in hops]
+    if engines is None:
+        engines = ["order"] + [f"trav-{h}" for h in hops]
     insert_seconds: dict[str, float] = {}
     remove_seconds: dict[str, float] = {}
     for engine_name in engines:

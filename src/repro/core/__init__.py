@@ -10,6 +10,9 @@ Public entry points:
 * :class:`~repro.core.korder.KOrder` — the maintained order index.
 * :class:`~repro.core.maintainer.OrderedCoreMaintainer` — the dynamic
   engine (``OrderInsert`` / ``OrderRemoval``).
+* :class:`~repro.core.simplified.SimplifiedCoreMaintainer` — the
+  Guo–Sekerinski simplified variant (no ``mcd``; two order-local
+  degrees replace it).
 """
 
 from repro.engine.base import CoreMaintainer, UpdateResult
@@ -20,6 +23,7 @@ from repro.core.decomposition import (
 )
 from repro.core.korder import KOrder
 from repro.core.maintainer import OrderedCoreMaintainer
+from repro.core.simplified import SimplifiedCoreMaintainer
 from repro.core.snapshot import (
     from_snapshot,
     load_snapshot,
@@ -32,6 +36,7 @@ __all__ = [
     "KOrder",
     "KOrderDecomposition",
     "OrderedCoreMaintainer",
+    "SimplifiedCoreMaintainer",
     "UpdateResult",
     "core_numbers",
     "from_snapshot",

@@ -5,6 +5,16 @@ adopting core maintenance.  A long-lived service can avoid paying it on
 every restart by snapshotting the maintained state — the graph, the
 k-order, ``deg+`` and ``mcd`` — and restoring it without recomputation.
 
+Both order-family engines checkpoint here: the default
+:class:`~repro.core.maintainer.OrderedCoreMaintainer` and the
+:class:`~repro.core.simplified.SimplifiedCoreMaintainer`.  They share
+the layout — the simplified engine's ``d_in`` is stored through the
+``mcd`` array (its :attr:`~repro.core.simplified.SimplifiedCoreMaintainer.mcd`
+property derives ``d_in + d_out`` on demand) and recovered on restore as
+``mcd - deg_plus``, so either engine can be rebuilt from the same
+fields.  The ``engine`` field records which class to rebuild; snapshots
+written before it exists restore as the default engine.
+
 The snapshot is a plain JSON-serializable dict (versioned), so it can go
 to disk, a blob store, or over the wire.  Restoring validates the
 invariants (Lemma 5.1 audit plus an ``mcd`` check) before handing back a
@@ -24,16 +34,20 @@ from pathlib import Path
 from typing import Union
 
 from repro.core.maintainer import OrderedCoreMaintainer
+from repro.core.simplified import SimplifiedCoreMaintainer
 from repro.errors import StaleIndexError
 from repro.graphs.undirected import DynamicGraph
 
 PathLike = Union[str, Path]
 
+#: Engines with snapshot support (both restore through the same layout).
+OrderEngine = Union[OrderedCoreMaintainer, SimplifiedCoreMaintainer]
+
 #: Snapshot schema version; bump on layout changes.
 SNAPSHOT_VERSION = 1
 
 
-def to_snapshot(maintainer: OrderedCoreMaintainer) -> dict:
+def to_snapshot(maintainer: OrderEngine) -> dict:
     """Serialize a maintainer's full state to a JSON-friendly dict.
 
     The k-order is stored as one global vertex list plus per-vertex
@@ -44,6 +58,7 @@ def to_snapshot(maintainer: OrderedCoreMaintainer) -> dict:
     korder = maintainer.korder
     return {
         "version": SNAPSHOT_VERSION,
+        "engine": maintainer.name,
         "sequence": korder.sequence,
         "order": order,
         "core": [maintainer.core[v] for v in order],
@@ -56,7 +71,7 @@ def to_snapshot(maintainer: OrderedCoreMaintainer) -> dict:
     }
 
 
-def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
+def from_snapshot(snapshot: dict, audit: bool = True) -> OrderEngine:
     """Rebuild a live maintainer from :func:`to_snapshot` output.
 
     Raises :class:`StaleIndexError` when the snapshot is malformed or its
@@ -84,16 +99,34 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
     # Pre-backend snapshots carry no "sequence" field; restore those on
     # the current default (backend choice never affects semantics).
     sequence = snapshot.get("sequence", DEFAULT_SEQUENCE)
+    # Likewise pre-"engine" snapshots restore as the default engine.
+    engine = snapshot.get("engine", "order")
     try:
-        maintainer = OrderedCoreMaintainer.from_index_state(
-            graph,
-            order,
-            dict(zip(order, cores)),
-            dict(zip(order, deg_plus)),
-            dict(zip(order, mcd)),
-            sequence=sequence,
-            seed=0,
-        )
+        if engine == "order":
+            maintainer = OrderedCoreMaintainer.from_index_state(
+                graph,
+                order,
+                dict(zip(order, cores)),
+                dict(zip(order, deg_plus)),
+                dict(zip(order, mcd)),
+                sequence=sequence,
+                seed=0,
+            )
+        elif engine == "order-simplified":
+            maintainer = SimplifiedCoreMaintainer.from_index_state(
+                graph,
+                order,
+                dict(zip(order, cores)),
+                dict(zip(order, deg_plus)),
+                # d_in + d_out = mcd, and deg_plus *is* d_out.
+                {v: m - d for v, m, d in zip(order, mcd, deg_plus)},
+                sequence=sequence,
+                seed=0,
+            )
+        else:
+            raise StaleIndexError(
+                f"snapshot written by unknown engine {engine!r}"
+            )
     except ValueError as exc:
         raise StaleIndexError(str(exc)) from exc
     if audit:
@@ -104,11 +137,11 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderedCoreMaintainer:
     return maintainer
 
 
-def save_snapshot(maintainer: OrderedCoreMaintainer, path: PathLike) -> None:
+def save_snapshot(maintainer: OrderEngine, path: PathLike) -> None:
     """Write :func:`to_snapshot` output as JSON."""
     Path(path).write_text(json.dumps(to_snapshot(maintainer)))
 
 
-def load_snapshot(path: PathLike, audit: bool = True) -> OrderedCoreMaintainer:
+def load_snapshot(path: PathLike, audit: bool = True) -> OrderEngine:
     """Read a JSON snapshot back into a live maintainer."""
     return from_snapshot(json.loads(Path(path).read_text()), audit=audit)

@@ -202,14 +202,24 @@ class CoreMaintainer(ABC):
         engines whose schedules build :class:`BatchResult` directly (the
         order engine's region scheduler) share this arithmetic with
         :meth:`_finish_batch`.
+
+        Counters the engine never touched are omitted, not zero-filled:
+        :meth:`_batch_counters` values are cumulative and monotonic, so
+        a cumulative 0 means the counter's machinery never ran at all
+        (no ``relabels`` under the treap backend, no
+        ``mcd_recomputations`` on an engine with no ``mcd`` concept) —
+        reporting ``0`` would misread as "ran and did nothing".  A
+        counter that has ever moved stays reported, even when this
+        batch's delta is 0.
         """
         counters = self._batch_counters()
         if baseline:
-            counters = {
+            return {
                 key: value - baseline.get(key, 0)
                 for key, value in counters.items()
+                if value
             }
-        return counters
+        return {key: value for key, value in counters.items() if value}
 
     def _finish_batch(
         self,

@@ -417,9 +417,13 @@ class BatchResult:
     counters:
         Per-batch instrumentation deltas reported by the engine — for the
         order engine: ``order_queries``, ``relabels``, ``rank_walk_steps``
-        (the sequence-backend stats), ``mcd_recomputations``, plus the
-        schedule's ``regions`` / ``region_max_size``; empty for engines
-        without counters.
+        (the sequence-backend stats), ``mcd_recomputations``
+        (``candidate_visits`` on the simplified engine, which has no
+        ``mcd``), plus the schedule's ``regions`` / ``region_max_size``;
+        empty for engines without counters.  Counters the engine's
+        machinery never touched are omitted, not zero-filled: a missing
+        key means "this engine never ran that code", a ``0`` means "ran
+        this batch and did nothing".
     """
 
     engine: str

@@ -18,6 +18,15 @@ Names
     options ``partition=True`` (split every batch into independent
     regions before applying) and ``parallel=<workers>`` (opt-in
     region-parallel application; implies partitioning).
+``order-simplified``
+    The Guo–Sekerinski simplified order-based engine
+    (:class:`~repro.core.simplified.SimplifiedCoreMaintainer`): same
+    k-order index, but two order-local degrees replace the maintained
+    ``mcd`` so no repair pass runs after updates.  Carries the same
+    policy/backend alias block as ``order``
+    (``order-simplified-{small,large,random,om,treap}``) and the same
+    ``sequence`` / ``policy`` options — but not the batch-scheduler
+    options (it has no per-run repair to coalesce).
 ``order-sharded``
     The sharded order engine
     (:class:`~repro.engine.sharded.ShardedOrderEngine`): one order
@@ -199,6 +208,27 @@ def _make_order(policy: str, sequence: str = None):
     return factory
 
 
+def _make_simplified(policy: str, sequence: str = None):
+    # Same deferred-default contract as _make_order; no partition/parallel
+    # knobs — the simplified engine has no run-boundary repair for a
+    # region schedule to amortize.
+    def factory(
+        graph: DynamicGraph,
+        seed=0,
+        audit: bool = False,
+        policy: str = policy,
+        sequence: str = sequence,
+    ):
+        from repro.core.simplified import SimplifiedCoreMaintainer
+
+        opts = {} if sequence is None else {"sequence": sequence}
+        return SimplifiedCoreMaintainer(
+            graph, policy=policy, seed=seed, audit=audit, **opts
+        )
+
+    return factory
+
+
 def _make_sharded(
     graph: DynamicGraph,
     seed=0,
@@ -230,12 +260,21 @@ def _make_naive(graph: DynamicGraph, seed=None, audit: bool = False):
     return NaiveCoreMaintainer(graph)
 
 
-register_engine("order", _make_order("small"))
-register_engine("order-small", _make_order("small"))
-register_engine("order-large", _make_order("large"))
-register_engine("order-random", _make_order("random"))
-register_engine("order-om", _make_order("small", sequence="om"))
-register_engine("order-treap", _make_order("small", sequence="treap"))
+def _register_order_family(base: str, maker) -> None:
+    """Register ``base`` plus the alias block every order-family engine
+    carries: ``-small``/``-large``/``-random`` pin the Section VI
+    generation policy, ``-om``/``-treap`` pin the sequence backend
+    (under the paper's ``"small"`` policy).  ``maker(policy, sequence=)``
+    must return a factory, like :func:`_make_order`."""
+    register_engine(base, maker("small"))
+    for policy in ("small", "large", "random"):
+        register_engine(f"{base}-{policy}", maker(policy))
+    for sequence in ("om", "treap"):
+        register_engine(f"{base}-{sequence}", maker("small", sequence=sequence))
+
+
+_register_order_family("order", _make_order)
+_register_order_family("order-simplified", _make_simplified)
 register_engine("order-sharded", _make_sharded)
 def _make_traversal_at(h: int):
     def factory(graph: DynamicGraph, seed=None, audit: bool = False):

@@ -119,17 +119,21 @@ class CoreService:
     def save(self, path) -> None:
         """Checkpoint the maintained index as JSON at ``path``.
 
-        Only the order engine maintains a serializable index; other
-        engines raise :class:`~repro.errors.ServiceError` (rebuild them
-        from the edge list instead).
+        Only the order-family engines (``order``, ``order-simplified``
+        and their aliases) maintain a serializable index; other engines
+        raise :class:`~repro.errors.ServiceError` (rebuild them from the
+        edge list instead).
         """
         from repro.core.maintainer import OrderedCoreMaintainer
+        from repro.core.simplified import SimplifiedCoreMaintainer
         from repro.core.snapshot import save_snapshot
 
-        if not isinstance(self._engine, OrderedCoreMaintainer):
+        if not isinstance(
+            self._engine, (OrderedCoreMaintainer, SimplifiedCoreMaintainer)
+        ):
             raise ServiceError(
                 f"engine {self._engine.name!r} has no snapshot support; "
-                "only the order engine's index can be checkpointed"
+                "only the order-family engines' index can be checkpointed"
             )
         save_snapshot(self._engine, path)
 

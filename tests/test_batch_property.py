@@ -20,8 +20,14 @@ from repro.graphs.undirected import DynamicGraph
 # "order" is the OM-list-backed engine (the default); "order-treap" runs
 # the same algorithm over the treap sequence backend, so the whole
 # agreement suite covers both.  "order-sharded" applies every batch
-# through per-component sub-engines (merge/split protocol included).
-ENGINES = ("order", "order-treap", "order-sharded", "trav-2", "naive")
+# through per-component sub-engines (merge/split protocol included);
+# "order-simplified"/"-treap" is the Guo–Sekerinski no-mcd variant on
+# both backends.
+ENGINES = (
+    "order", "order-treap", "order-sharded",
+    "order-simplified", "order-simplified-treap",
+    "trav-2", "naive",
+)
 
 
 def random_batch_stream(seed, n_batches=6, batch_size=25, universe=60):

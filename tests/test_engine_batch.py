@@ -135,6 +135,8 @@ class TestEngineOptionValidation:
         ("order-om", {"partition": True}),
         ("order-treap", {"parallel": 2}),
         ("order-sharded", {"parallel": 2, "reshard": "batch"}),
+        ("order-simplified", {"policy": "large"}),
+        ("order-simplified-treap", {"audit": True}),
         ("naive", {"seed": 1}),
         ("trav", {"audit": True}),
         ("trav-2", {"seed": 1}),
@@ -256,7 +258,9 @@ class TestApplyBatchAgreement:
             (graph.add_edge if kind == "insert" else graph.remove_edge)(a, b)
         return core_numbers(graph)
 
-    @pytest.mark.parametrize("name", ["order", "trav-2", "naive"])
+    @pytest.mark.parametrize(
+        "name", ["order", "order-simplified", "trav-2", "naive"]
+    )
     def test_batched_replay_matches_recompute_oracle(
         self, name, workload, oracle
     ):
@@ -384,12 +388,17 @@ class TestBatchResult:
                  if not engine.graph.has_edge(*e)]
         first = engine.apply_batch(Batch.inserts(edges[:8]))
         second = engine.apply_batch(Batch.removes(edges[:8]))
+        # Counters the backend's machinery never touched are omitted,
+        # not zero-filled: the OM backend walks no treap ranks, the
+        # treap backend assigns no labels.
+        absent = "rank_walk_steps" if sequence == "om" else "relabels"
         for result in (first, second):
             expected = {
-                "order_queries", "relabels", "rank_walk_steps",
-                "mcd_recomputations", "regions", "region_max_size",
+                "order_queries", "mcd_recomputations",
+                "regions", "region_max_size",
             }
-            assert set(result.counters) == expected
+            assert expected <= set(result.counters)
+            assert absent not in result.counters
             assert all(v >= 0 for v in result.counters.values())
             # Partitioning is off by default: one region spanning the batch.
             assert result.counters["regions"] == 1
@@ -400,11 +409,6 @@ class TestBatchResult:
         assert totals["order_queries"] == (
             first.counters["order_queries"] + second.counters["order_queries"]
         )
-        if sequence == "om":
-            assert first.counters["rank_walk_steps"] == 0
-            assert second.counters["rank_walk_steps"] == 0
-        else:
-            assert first.counters["relabels"] == 0
 
     def test_counters_on_other_engines(self):
         graph = random_gnm(15, 30, seed=6)

@@ -22,9 +22,10 @@ from repro.service import CoreService
 
 #: "order" is the OM-list-backed engine (the default); "order-treap"
 #: runs the same algorithm over the treap backend; "order-sharded"
-#: commits through per-component sub-engines — all three must tell the
-#: subscriber the same story.
-BACKENDS = ("order", "order-treap", "order-sharded")
+#: commits through per-component sub-engines; "order-simplified" is the
+#: Guo–Sekerinski no-mcd variant — all must tell the subscriber the
+#: same story.
+BACKENDS = ("order", "order-treap", "order-sharded", "order-simplified")
 
 
 def mixed_batch_stream(rng, n_batches, batch_size, universe):

@@ -117,8 +117,9 @@ class TestShardProtocol:
         assert counters["shards"] == 3
         assert counters["regions"] == 3
         assert counters["region_max_size"] == 1
-        assert counters["shard_merges"] == 0
-        assert counters["cross_region_ops"] == 0
+        # Never-touched counters are omitted, not zero-filled.
+        assert "shard_merges" not in counters
+        assert "cross_region_ops" not in counters
         assert counters["parallel_commits"] == 0
         assert "mcd_recomputations" in counters
         assert "order_queries" in counters
