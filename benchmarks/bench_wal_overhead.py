@@ -1,0 +1,205 @@
+"""Durability overhead: WAL-backed commits vs raw ``apply_batch``.
+
+The write-ahead log adds a serialize + framed append before every
+commit.  With fsync off that bookkeeping must stay in the noise — the
+acceptance bar is a WAL-backed session (``fsync="never"``) within 10%
+of raw ``apply_batch`` throughput on the mixed-batch workload.  The
+bench replays the same batch stream through a bare engine and through a
+durable session (best of ``REPLAYS`` replays each, interleaved to damp
+scheduler noise), asserts identical final cores, and — at meaningful
+stream lengths — asserts the 10% bound outright.
+
+The fsync policies that actually hit the disk are *recorded*, not
+gated: ``always`` pays one fsync per commit and ``interval`` amortizes
+it, and both costs are hardware truths rather than code regressions.
+A final bench measures recovery itself — scan + replay of the full log
+onto the latest snapshot — so the artifact tracks restart cost too.
+
+Every bench appends a record to a ``BENCH_wal_overhead.json`` artifact;
+set ``REPRO_BENCH_ARTIFACT_DIR`` to choose where it lands.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
+
+from repro.bench.runner import build_engine, build_service
+from repro.bench.workloads import mixed_batch_workload
+from repro.graphs.datasets import load_dataset
+from repro.service import CoreService, log_stat
+
+#: Ops per batch in the mixed-batch replay.
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_BATCH", "50"))
+#: Replays per side; the minimum is kept, interleaved raw/durable.
+REPLAYS = int(os.environ.get("REPRO_BENCH_REPLAYS", "3"))
+#: Below this many ops the wall-clock assert is skipped (CI smoke
+#: scales are too small for stable timing) but still recorded.
+WALL_CLOCK_MIN_OPS = 200
+#: The acceptance bound: fsync-off WAL within 10% of raw apply_batch.
+OVERHEAD_BOUND = 1.10
+#: Append count between fsyncs for the "interval" policy bench.
+FSYNC_EVERY = 16
+
+_RECORDS: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_artifact():
+    """Write the accumulated records once the module's benches finish."""
+    _RECORDS.clear()
+    yield
+    path = (
+        Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
+        / "BENCH_wal_overhead.json"
+    )
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "wal_overhead",
+                "scale": BENCH_SCALE,
+                "updates": BENCH_UPDATES,
+                "batch_size": BATCH_SIZE,
+                "replays": REPLAYS,
+                "bound": OVERHEAD_BOUND,
+                "records": _RECORDS,
+            },
+            indent=2,
+        )
+    )
+
+
+def _workload():
+    dataset = load_dataset("gowalla", scale=BENCH_SCALE, seed=BENCH_SEED)
+    return mixed_batch_workload(
+        dataset, BENCH_UPDATES, BATCH_SIZE, p=0.3, seed=BENCH_SEED
+    )
+
+
+def _replay_raw(workload, batches):
+    engine = build_engine("order", workload.base_graph(), seed=BENCH_SEED)
+    started = time.perf_counter()
+    for batch in batches:
+        engine.apply_batch(batch)
+    return engine, time.perf_counter() - started
+
+
+def _replay_durable(workload, batches, log, **wal_opts):
+    service = build_service(
+        "order", workload.base_graph(), seed=BENCH_SEED, log=log, **wal_opts
+    )
+    started = time.perf_counter()
+    for batch in batches:
+        service.apply(batch)
+    elapsed = time.perf_counter() - started
+    service.close()
+    return service, elapsed
+
+
+def _record(name, ops, raw_s, wal_s, extra=None):
+    entry = {
+        "bench": name,
+        "ops": ops,
+        "raw_seconds": round(raw_s, 6),
+        "wal_seconds": round(wal_s, 6),
+        "raw_ops_per_sec": round(ops / raw_s, 1) if raw_s else None,
+        "wal_ops_per_sec": round(ops / wal_s, 1) if wal_s else None,
+        "overhead_ratio": round(wal_s / raw_s, 4) if raw_s else None,
+    }
+    if extra:
+        entry.update(extra)
+    _RECORDS.append(entry)
+    return entry
+
+
+def bench_wal_fsync_never_vs_raw(benchmark, tmp_path):
+    """The acceptance workload: fsync-off durable session vs bare engine."""
+    workload, plan, batches = _workload()
+
+    def run():
+        raw_best = wal_best = float("inf")
+        engine = service = None
+        # Interleave the replays so drift hits both sides equally.
+        for replay in range(REPLAYS):
+            engine, raw_s = _replay_raw(workload, batches)
+            log = tmp_path / f"never-{replay}.wal"
+            service, wal_s = _replay_durable(
+                workload, batches, log, fsync="never"
+            )
+            raw_best = min(raw_best, raw_s)
+            wal_best = min(wal_best, wal_s)
+        assert engine.core_numbers() == service.cores(), (
+            "durable replay diverged from raw apply_batch"
+        )
+        return raw_best, wal_best
+
+    raw_s, wal_s = once(benchmark, run)
+    entry = _record(
+        "fsync_never", len(plan), raw_s, wal_s,
+        extra={"fsync": "never", "batches": len(batches)},
+    )
+    benchmark.extra_info.update(entry)
+    if len(plan) >= WALL_CLOCK_MIN_OPS:
+        assert wal_s <= raw_s * OVERHEAD_BOUND, (
+            f"WAL overhead {wal_s / raw_s:.3f}x exceeds "
+            f"{OVERHEAD_BOUND}x: {wal_s:.3f}s vs {raw_s:.3f}s"
+        )
+
+
+@pytest.mark.parametrize("fsync", ["interval", "always"])
+def bench_wal_fsync_policies(benchmark, tmp_path, fsync):
+    """Record (never gate) what the disk-hitting fsync policies cost."""
+    workload, plan, batches = _workload()
+    wal_opts = {"fsync": fsync}
+    if fsync == "interval":
+        wal_opts["fsync_every"] = FSYNC_EVERY
+
+    def run():
+        raw_best = wal_best = float("inf")
+        for replay in range(REPLAYS):
+            _, raw_s = _replay_raw(workload, batches)
+            log = tmp_path / f"{fsync}-{replay}.wal"
+            _, wal_s = _replay_durable(workload, batches, log, **wal_opts)
+            raw_best = min(raw_best, raw_s)
+            wal_best = min(wal_best, wal_s)
+        return raw_best, wal_best
+
+    raw_s, wal_s = once(benchmark, run)
+    entry = _record(
+        f"fsync_{fsync}", len(plan), raw_s, wal_s,
+        extra={"fsync": fsync, "batches": len(batches)},
+    )
+    benchmark.extra_info.update(entry)
+
+
+def bench_wal_recovery(benchmark, tmp_path):
+    """Restart cost: scan + replay the full log onto the base snapshot."""
+    workload, plan, batches = _workload()
+    log = tmp_path / "recovery.wal"
+    service, _ = _replay_durable(workload, batches, log, fsync="never")
+    expected = service.cores()
+
+    def run():
+        started = time.perf_counter()
+        recovered = CoreService.recover(log)
+        elapsed = time.perf_counter() - started
+        recovered.close()
+        return recovered, elapsed
+
+    recovered, recover_s = once(benchmark, run)
+    assert recovered.cores() == expected, "recovery diverged from live state"
+    stat = log_stat(log)
+    entry = {
+        "bench": "recovery",
+        "ops": len(plan),
+        "records": stat["records"],
+        "log_bytes": stat["bytes"],
+        "recover_seconds": round(recover_s, 6),
+        "replayed": recovered.recovery.replayed,
+        "from_snapshot": recovered.recovery.from_snapshot,
+    }
+    _RECORDS.append(entry)
+    benchmark.extra_info.update(entry)

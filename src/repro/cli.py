@@ -68,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "list", "table1", "table2", "table3",
             "fig1", "fig2", "fig5", "fig9", "fig10", "fig11", "fig12",
-            "ablation", "batch", "validate", "all",
+            "ablation", "batch", "validate", "recover", "log-stat", "all",
         ],
         help="which table/figure (or utility) to run",
     )
@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=None,
         help="dataset size multiplier (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="recover/log-stat: path to a write-ahead commit log",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="recover: snapshot the recovered state and truncate the log",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -266,6 +274,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if not report.ok:
                 failures += 1
         return 1 if failures else 0
+    if args.experiment in ("recover", "log-stat"):
+        if not args.log:
+            print(
+                f"{args.experiment}: --log PATH is required", file=sys.stderr
+            )
+            return 2
+        from repro.errors import ServiceError
+        from repro.service import CoreService, log_stat
+
+        if args.experiment == "log-stat":
+            try:
+                stat = log_stat(args.log)
+            except (OSError, ServiceError) as exc:
+                print(f"log-stat: {exc}", file=sys.stderr)
+                return 1
+            for key, value in stat.items():
+                print(f"{key}: {value}")
+            return 0
+        try:
+            service = CoreService.recover(args.log)
+        except (OSError, ServiceError) as exc:
+            print(f"recover: {exc}", file=sys.stderr)
+            return 1
+        report = service.recovery
+        print(f"recovered: {args.log}")
+        print(f"engine: {service.engine.name}")
+        print(
+            f"replayed: {report.replayed}  skipped: {report.skipped}  "
+            f"torn bytes: {report.torn_bytes}  "
+            f"from snapshot: {report.from_snapshot}"
+        )
+        print(
+            f"graph: {service.engine.graph.n} vertices, "
+            f"{service.engine.graph.m} edges, "
+            f"degeneracy {service.engine.degeneracy()}"
+        )
+        if args.compact:
+            snapshot = service.compact()
+            print(f"compacted: snapshot at {snapshot}")
+        service.close()
+        return 0
     if args.experiment == "all":
         results = experiments.run_all(
             names, args.updates, args.hops, **common

@@ -42,6 +42,7 @@ from repro.engine.base import CoreMaintainer, UpdateResult
 from repro.engine.batch import Batch, BatchResult, merge_deltas, net_changes
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
+from repro.testing.faults import inject
 
 Vertex = Hashable
 
@@ -356,6 +357,7 @@ class OrderedCoreMaintainer(CoreMaintainer):
         removal_runs: list[RemovalRunResult] = []
         inserts = removes = 0
         for kind, run_edges in region.runs():
+            inject("engine.mid_batch")
             if kind == "insert":
                 results.extend(self._insert_run(run_edges))
                 inserts += len(run_edges)

@@ -30,6 +30,7 @@ types).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -37,6 +38,7 @@ from repro.core.maintainer import OrderedCoreMaintainer
 from repro.core.simplified import SimplifiedCoreMaintainer
 from repro.errors import StaleIndexError
 from repro.graphs.undirected import DynamicGraph
+from repro.testing.faults import inject
 
 PathLike = Union[str, Path]
 
@@ -79,7 +81,8 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderEngine:
     """
     if snapshot.get("version") != SNAPSHOT_VERSION:
         raise StaleIndexError(
-            f"unsupported snapshot version {snapshot.get('version')!r}"
+            f"snapshot field 'version' is {snapshot.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
         )
     try:
         order = snapshot["order"]
@@ -90,7 +93,11 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderEngine:
     except KeyError as exc:
         raise StaleIndexError(f"snapshot missing field {exc}") from exc
     if not (len(order) == len(cores) == len(deg_plus) == len(mcd)):
-        raise StaleIndexError("snapshot arrays have inconsistent lengths")
+        raise StaleIndexError(
+            "snapshot per-vertex fields have inconsistent lengths: "
+            f"order={len(order)}, core={len(cores)}, "
+            f"deg_plus={len(deg_plus)}, mcd={len(mcd)}"
+        )
 
     graph = DynamicGraph(edges, vertices=order)
     # Rebuild state without triggering a fresh decomposition.
@@ -125,7 +132,8 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderEngine:
             )
         else:
             raise StaleIndexError(
-                f"snapshot written by unknown engine {engine!r}"
+                f"snapshot field 'engine' names unknown engine {engine!r}; "
+                "this build restores: order, order-simplified"
             )
     except ValueError as exc:
         raise StaleIndexError(str(exc)) from exc
@@ -137,9 +145,31 @@ def from_snapshot(snapshot: dict, audit: bool = True) -> OrderEngine:
     return maintainer
 
 
+def write_json_atomic(payload: dict, path: PathLike) -> None:
+    """Write ``payload`` as JSON via write-temp-then-rename.
+
+    The target file is never observable half-written: a crash anywhere
+    before the final rename leaves the previous snapshot (or nothing)
+    in place, plus a stray ``*.tmp``.  The payload is written in two
+    halves around the ``snapshot.mid_write`` crash point so the fault
+    matrix can kill a snapshot mid-write and prove exactly that.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    data = json.dumps(payload).encode()
+    with open(tmp, "wb") as fh:
+        fh.write(data[: len(data) // 2])
+        fh.flush()
+        inject("snapshot.mid_write")
+        fh.write(data[len(data) // 2:])
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def save_snapshot(maintainer: OrderEngine, path: PathLike) -> None:
-    """Write :func:`to_snapshot` output as JSON."""
-    Path(path).write_text(json.dumps(to_snapshot(maintainer)))
+    """Write :func:`to_snapshot` output as JSON (atomically)."""
+    write_json_atomic(to_snapshot(maintainer), path)
 
 
 def load_snapshot(path: PathLike, audit: bool = True) -> OrderEngine:

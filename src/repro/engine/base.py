@@ -33,6 +33,7 @@ from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.engine.batch import Batch, BatchResult, net_changes
 from repro.graphs.undirected import DynamicGraph
+from repro.testing.faults import inject
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
@@ -176,6 +177,7 @@ class CoreMaintainer(ABC):
         results = []
         inserts = removes = 0
         for op in batch:
+            inject("engine.mid_batch")
             if op.kind == "insert":
                 results.append(self.insert_edge(*op.edge))
                 inserts += 1

@@ -75,15 +75,23 @@ from repro.errors import (
     EdgeNotFoundError,
     InvariantViolationError,
     SelfLoopError,
+    ServiceError,
 )
 from repro.graphs.undirected import DynamicGraph
 from repro.structures.sequence import SequenceStats
+from repro.testing.faults import inject
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
 
 #: Accepted values for the automatic re-shard policy.
 RESHARD_POLICIES = ("off", "batch")
+
+#: Bounded retry for transient worker-pool failures (thread spawn
+#: denied, e.g. under resource limits): attempts beyond the first
+#: submit, with exponential backoff starting at this many seconds.
+POOL_SUBMIT_RETRIES = 2
+POOL_RETRY_BACKOFF = 0.05
 
 _COUNTER_KEYS = (
     "order_queries",
@@ -244,6 +252,8 @@ class ShardedOrderEngine(CoreMaintainer):
         self.shard_merges = 0
         self.shard_splits = 0
         self.cross_region_ops = 0
+        self.pool_retries = 0
+        self._closed = False
         #: Counters inherited from absorbed/split-away sub-engines, so
         #: per-batch deltas survive shard turnover.
         self._retired = dict.fromkeys(_COUNTER_KEYS, 0)
@@ -364,6 +374,7 @@ class ShardedOrderEngine(CoreMaintainer):
     # ------------------------------------------------------------------
 
     def add_vertex(self, vertex: Vertex) -> bool:
+        self._require_open()
         if not self._graph.add_vertex(vertex):
             return False
         self._new_shard(DynamicGraph(vertices=[vertex]))
@@ -371,6 +382,7 @@ class ShardedOrderEngine(CoreMaintainer):
 
     def insert_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
         """Insert ``(u, v)``; merges shards first if the edge crosses."""
+        self._require_open()
         self._resolve_insert(u, v)
         shard = self._shards[self._shard_of[u]]
         result = shard.insert_edge(u, v)
@@ -381,6 +393,7 @@ class ShardedOrderEngine(CoreMaintainer):
 
     def remove_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
         """Remove ``(u, v)`` from its owning shard."""
+        self._require_open()
         sid = self._owning_shard(u, v)
         result = self._shards[sid].remove_edge(u, v)
         self._graph.remove_edge(u, v)
@@ -561,6 +574,7 @@ class ShardedOrderEngine(CoreMaintainer):
         order); ``changed``/``visited`` are always exact.
         """
         started = time.perf_counter()
+        self._require_open()
         baseline = self._batch_counters()
         if parallel is None:
             parallel = self._parallel
@@ -596,20 +610,29 @@ class ShardedOrderEngine(CoreMaintainer):
         try:
             if parallel and len(sub_batches) > 1:
                 parallel_commits = len(sub_batches)
-                pool = self._get_pool(parallel)
-                futures = [
-                    pool.submit(self._shards[sid].apply_batch, sub)
-                    for sid, sub in sub_batches
-                ]
+                futures = []
+                inline = []
+                for index, (sid, sub) in enumerate(sub_batches):
+                    future = self._submit_commit(parallel, sid, sub)
+                    if future is None:
+                        # Pool stayed broken after bounded retries: the
+                        # sub-batch still commits, inline.  Shards are
+                        # disjoint, so mixing pooled and inline commits
+                        # of one batch is safe.
+                        inline.append((index, sid, sub))
+                    else:
+                        futures.append((index, future))
                 # Wait for EVERY worker — success or failure — before
-                # touching shared state: the finally-block mirror sync
-                # must never observe a shard mid-commit.
-                wait(futures)
-                for index, future in enumerate(futures):
+                # touching shared state (or raising): the finally-block
+                # mirror sync must never observe a shard mid-commit.
+                wait([future for _, future in futures])
+                for index, sid, sub in inline:
+                    outcomes[index] = self._commit_shard(sid, sub)
+                for index, future in futures:
                     outcomes[index] = future.result()  # re-raises errors
             else:
                 for index, (sid, sub) in enumerate(sub_batches):
-                    outcomes[index] = self._shards[sid].apply_batch(sub)
+                    outcomes[index] = self._commit_shard(sid, sub)
         finally:
             # Phase 3a: true up the top-level mirror from the shard
             # graphs — runs even on a mid-batch engine error, so the
@@ -657,17 +680,44 @@ class ShardedOrderEngine(CoreMaintainer):
             counters=counters,
         )
 
+    def _commit_shard(self, sid: int, sub: Batch) -> BatchResult:
+        """Commit one per-shard sub-batch (pool worker or inline)."""
+        inject("shard.worker_commit")
+        return self._shards[sid].apply_batch(sub)
+
+    def _submit_commit(self, workers: int, sid: int, sub: Batch):
+        """Submit one sub-batch commit to the pool, retrying transient
+        pool failures (thread spawn denied raises ``RuntimeError``) with
+        exponential backoff and a rebuilt pool.
+
+        Returns the future, or ``None`` after the bounded retries are
+        exhausted — the caller then commits the sub-batch inline, so a
+        starved pool degrades to sequential commits instead of failing
+        the batch.  Retries are counted in ``pool_retries``.
+        """
+        for attempt in range(POOL_SUBMIT_RETRIES + 1):
+            try:
+                return self._get_pool(workers).submit(
+                    self._commit_shard, sid, sub
+                )
+            except RuntimeError:
+                self.pool_retries += 1
+                self._teardown_pool()
+                if attempt < POOL_SUBMIT_RETRIES:
+                    time.sleep(POOL_RETRY_BACKOFF * (2 ** attempt))
+        return None
+
     def _get_pool(self, workers: int) -> ThreadPoolExecutor:
         """The engine's persistent worker pool, (re)sized on demand.
 
         Created once and reused across batches — per-batch pool setup
         would otherwise dominate small commits.  A finalizer tears it
-        down when the engine is collected; :meth:`close` does so
-        eagerly.
+        down when the engine is collected or at interpreter shutdown
+        (``weakref.finalize`` runs at exit even without ``__del__``);
+        :meth:`close` does so eagerly.
         """
         if self._pool is None or self._pool_workers != workers:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
+            self._teardown_pool()
             self._pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-shard"
             )
@@ -677,13 +727,38 @@ class ShardedOrderEngine(CoreMaintainer):
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent; the engine stays
-        usable — the pool is recreated on the next parallel batch)."""
+    def _teardown_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
             self._pool_workers = 0
+
+    def close(self) -> None:
+        """Close the engine: shut down the worker pool, refuse commits.
+
+        Idempotent — closing twice is a no-op, never a deadlock.  After
+        close, reads (``core``, ``order``, ``check``) keep answering on
+        the final state, but any further update raises a clear
+        :class:`~repro.errors.ServiceError` instead of dying on a dead
+        pool.  Interpreter-shutdown paths that never call ``close`` are
+        covered by the pool's ``weakref.finalize``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has retired this engine."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError(
+                "engine 'order-sharded' is closed; reads still answer, "
+                "but updates need a live engine"
+            )
 
     def _sync_region(self, sid: int, sub: Batch) -> None:
         """Mirror one sub-batch's final edge states onto the top graph.
@@ -717,6 +792,7 @@ class ShardedOrderEngine(CoreMaintainer):
         counters["shard_merges"] = self.shard_merges
         counters["shard_splits"] = self.shard_splits
         counters["cross_region_ops"] = self.cross_region_ops
+        counters["pool_retries"] = self.pool_retries
         return counters
 
     # ------------------------------------------------------------------

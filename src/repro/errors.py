@@ -87,6 +87,16 @@ class TransactionError(ServiceError):
     """A service transaction was used after commit or rollback."""
 
 
+class LogCorruptionError(ServiceError):
+    """A write-ahead commit log is unreadable beyond normal tail tearing.
+
+    Torn *tail* records (a crash mid-append) are expected and repaired
+    by truncation; this error means something worse — a bad frame with
+    valid records after it, a missing or malformed header, or a record
+    that does not apply to the recovered snapshot state.
+    """
+
+
 class WorkloadError(ReproError, ValueError):
     """A benchmark workload was mis-specified (e.g. sampling too many edges)."""
 

@@ -10,7 +10,11 @@
         tx.remove(x, y)
     svc.core(v), svc.kcore(k), svc.top(10)              # reads
     svc.subscribe(on_event, min_k=8)                    # reactions
-    svc.save(path); CoreService.load(path)              # durability
+    svc.save(path); CoreService.load(path)              # checkpoints
+
+    svc = CoreService.open(edges, log="session.wal")    # durable session
+    svc.compact()                                       # snapshot + truncate
+    svc = CoreService.recover("session.wal")            # after a crash
 
 Consumers (the CLI, the sliding-window monitor, examples, benchmark
 drivers) build engines only through this package; the engine registry
@@ -19,13 +23,17 @@ surface for new engine implementations.
 """
 
 from repro.service.events import CoreEvent, Subscription
-from repro.service.session import CoreService
+from repro.service.session import CoreService, RecoveryReport
 from repro.service.transactions import CommitReceipt, Transaction
+from repro.service.wal import WriteAheadLog, log_stat
 
 __all__ = [
     "CommitReceipt",
     "CoreEvent",
     "CoreService",
+    "RecoveryReport",
     "Subscription",
     "Transaction",
+    "WriteAheadLog",
+    "log_stat",
 ]

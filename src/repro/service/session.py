@@ -15,30 +15,55 @@ A service wraps one maintenance engine behind three surfaces:
   :class:`~repro.service.events.CoreEvent` records derived from each
   commit's exact net core deltas.
 
-Sessions are durable: :meth:`~CoreService.save` checkpoints the
-maintained index (order engine) and :meth:`CoreService.load` restores it
-without recomputation, returning a live service ready for new
-subscriptions and commits.
+Sessions are durable two ways: :meth:`~CoreService.save` /
+:meth:`CoreService.load` checkpoint and restore the maintained index
+explicitly, and :meth:`open` with ``log=`` attaches a write-ahead commit
+log (:mod:`repro.service.wal`) so every commit is on disk *before* the
+engine applies it — :meth:`CoreService.recover` then replays the log
+onto the latest snapshot after a crash, and :meth:`~CoreService.compact`
+folds the log back into a snapshot.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Hashable, Iterable, Optional, Union
+import json
+from pathlib import Path
+from typing import Hashable, Iterable, NamedTuple, Optional, Union
 
 from repro.analysis import kcore_views
 from repro.engine.base import CoreMaintainer
 from repro.engine.batch import Batch
 from repro.engine.registry import make_engine
-from repro.errors import ServiceError
+from repro.errors import LogCorruptionError, ReproError, ServiceError
 from repro.graphs.undirected import DynamicGraph
 from repro.service.events import EventCallback, Subscription
 from repro.service.transactions import CommitReceipt, Transaction
+from repro.testing.faults import inject
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
 
 _MISSING = object()
+
+
+class RecoveryReport(NamedTuple):
+    """What :meth:`CoreService.recover` did (``svc.recovery``).
+
+    ``replayed`` log records were applied, ``skipped`` were already in
+    the snapshot (idempotent replay), ``torn_bytes`` of torn tail were
+    truncated, and ``from_snapshot`` says whether a snapshot seeded the
+    engine (else it was rebuilt empty from the log header).
+    """
+
+    replayed: int
+    skipped: int
+    torn_bytes: int
+    from_snapshot: bool
+
+
+def _snapshot_path(log: Path) -> Path:
+    """Where a logged session keeps its compaction snapshot."""
+    return log.with_name(log.name + ".snapshot")
 
 
 class CoreService:
@@ -65,8 +90,11 @@ class CoreService:
     def __init__(self, engine: CoreMaintainer) -> None:
         self._engine = engine
         self._subscribers: list[Subscription] = []
-        self._receipt_ids = itertools.count(1)
+        self._next_receipt = 1
         self._last_receipt: Optional[CommitReceipt] = None
+        self._wal = None
+        self._closed = False
+        self._recovery: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
     # Session construction
@@ -79,6 +107,9 @@ class CoreService:
         *,
         engine: str = "order",
         seed: Optional[int] = 0,
+        log=None,
+        fsync: str = "always",
+        fsync_every: Optional[int] = None,
         **opts,
     ) -> "CoreService":
         """Open a service over ``graph`` with a registry-named engine.
@@ -90,6 +121,15 @@ class CoreService:
         ``"trav-<h>"``, ``"naive"``, …); extra options go to the engine
         factory, which rejects names it does not understand.
 
+        With ``log=path`` the session is durable: a fresh write-ahead
+        commit log (:mod:`repro.service.wal`) is created at ``path`` —
+        never silently reused; recover from an existing log with
+        :meth:`recover` — and every commit is appended (and, per the
+        ``fsync`` policy ``"always"`` / ``"interval"`` / ``"never"``,
+        fsynced) *before* the engine applies it.  A non-empty starting
+        graph is immediately checkpointed (:meth:`compact`) so recovery
+        has a base snapshot; that requires an order-family engine.
+
         >>> CoreService.open([(0, 1)], engine="naive").engine_name
         'naive'
         >>> CoreService.open().graph.n        # empty session
@@ -99,7 +139,29 @@ class CoreService:
             graph = DynamicGraph()
         elif not isinstance(graph, DynamicGraph):
             graph = DynamicGraph(graph)
-        return cls(make_engine(engine, graph, seed=seed, **opts))
+        service = cls(make_engine(engine, graph, seed=seed, **opts))
+        if log is not None:
+            from repro.service.wal import DEFAULT_FSYNC_EVERY, WriteAheadLog
+
+            service._wal = WriteAheadLog.create(
+                Path(log),
+                engine=engine,
+                seed=seed,
+                opts=opts,
+                fsync=fsync,
+                fsync_every=fsync_every or DEFAULT_FSYNC_EVERY,
+            )
+            if graph.n:
+                # The log only replays commits; a non-empty base state
+                # must come from a snapshot, taken right now.
+                try:
+                    service.compact()
+                except ServiceError:
+                    service._wal.close()
+                    service._wal.path.unlink()
+                    service._wal = None
+                    raise
+        return service
 
     @classmethod
     def load(cls, path, *, audit: bool = True) -> "CoreService":
@@ -115,6 +177,91 @@ class CoreService:
         from repro.core.snapshot import load_snapshot
 
         return cls(load_snapshot(path, audit=audit))
+
+    @classmethod
+    def recover(
+        cls,
+        log,
+        *,
+        fsync: str = "always",
+        fsync_every: Optional[int] = None,
+        audit: bool = True,
+    ) -> "CoreService":
+        """Rebuild a durable session from its commit log after a crash.
+
+        The latest compaction snapshot (if any) seeds the engine; every
+        log record it does not already cover is replayed, in receipt
+        order, through the engine's batch pipeline.  Replay is
+        **idempotent**: records at or below the snapshot's receipt id
+        are skipped, so recovering twice — or recovering a log whose
+        compaction crashed between the snapshot rename and the log
+        truncation — lands the same state as recovering once.  A torn
+        tail record (crash mid-append) is truncated away; corruption
+        beyond that raises :class:`~repro.errors.LogCorruptionError`.
+
+        The returned service is live and attached to the (repaired) log:
+        its receipt ids continue after the last logged commit, and new
+        commits append under the given ``fsync`` policy.  What happened
+        is reported in :attr:`recovery`.
+        """
+        from repro.core.snapshot import from_snapshot
+        from repro.service.wal import (
+            DEFAULT_FSYNC_EVERY,
+            WriteAheadLog,
+            batch_from_ops,
+            scan,
+        )
+
+        log = Path(log)
+        info = scan(log)
+        header = info.header
+        snap_path = _snapshot_path(log)
+        base = 0
+        from_snap = snap_path.exists()
+        if from_snap:
+            raw = json.loads(snap_path.read_text())
+            base = raw.get("receipt", 0)
+            engine = from_snapshot(raw, audit=audit)
+        else:
+            if header.get("base_receipt", 0) or header.get("snapshot"):
+                raise LogCorruptionError(
+                    f"commit log {str(log)!r} continues from a compaction "
+                    f"snapshot (receipt {header.get('base_receipt', 0)}) "
+                    f"but {str(snap_path)!r} is missing"
+                )
+            engine = make_engine(
+                header["engine"],
+                DynamicGraph(),
+                seed=header.get("seed", 0),
+                **header.get("opts", {}),
+            )
+        service = cls(engine)
+        replayed = skipped = 0
+        for receipt_id, ops in info.records:
+            if receipt_id <= base:
+                skipped += 1  # already in the snapshot: replay is a no-op
+                continue
+            try:
+                engine.apply_batch(batch_from_ops(ops))
+            except ReproError as exc:
+                raise LogCorruptionError(
+                    f"commit log {str(log)!r} record {receipt_id} does "
+                    f"not apply to the recovered state: {exc}"
+                ) from exc
+            replayed += 1
+        service._next_receipt = max(info.last_receipt, base) + 1
+        service._wal = WriteAheadLog.attach(
+            log,
+            fsync=fsync,
+            fsync_every=fsync_every or DEFAULT_FSYNC_EVERY,
+        )
+        service._recovery = RecoveryReport(
+            replayed=replayed,
+            skipped=skipped,
+            torn_bytes=info.torn_bytes,
+            from_snapshot=from_snap,
+        )
+        return service
 
     def save(self, path) -> None:
         """Checkpoint the maintained index as JSON at ``path``.
@@ -136,6 +283,75 @@ class CoreService:
                 "only the order-family engines' index can be checkpointed"
             )
         save_snapshot(self._engine, path)
+
+    def compact(self) -> Path:
+        """Fold the commit log into a snapshot and truncate it.
+
+        Writes the current index as the session's snapshot (atomically:
+        temp file, fsync, rename) stamped with the last issued receipt
+        id, then rotates the log down to a fresh header whose
+        ``base_receipt`` records what the snapshot covers.  A crash
+        between the two steps is safe: recovery skips log records the
+        snapshot already contains.  Requires a logged session and an
+        order-family engine (the ones with snapshot support); returns
+        the snapshot path.
+        """
+        from repro.core.maintainer import OrderedCoreMaintainer
+        from repro.core.simplified import SimplifiedCoreMaintainer
+        from repro.core.snapshot import to_snapshot, write_json_atomic
+
+        self._require_open()
+        if self._wal is None:
+            raise ServiceError(
+                "service has no commit log to compact; open the session "
+                "with log=... or CoreService.recover"
+            )
+        if not isinstance(
+            self._engine, (OrderedCoreMaintainer, SimplifiedCoreMaintainer)
+        ):
+            raise ServiceError(
+                f"engine {self._engine.name!r} has no snapshot support, so "
+                "its log cannot be compacted (and a logged session over a "
+                "non-empty graph cannot be opened): recovery would have no "
+                "base snapshot to replay onto"
+            )
+        receipt = self._next_receipt - 1
+        snapshot = to_snapshot(self._engine)
+        snapshot["receipt"] = receipt
+        path = _snapshot_path(self._wal.path)
+        write_json_atomic(snapshot, path)
+        self._wal.rotate(receipt)
+        return path
+
+    def close(self) -> None:
+        """End the session: flush and close the log, release the engine.
+
+        Idempotent.  Reads keep working on the final state; any further
+        commit (or :meth:`compact`) raises
+        :class:`~repro.errors.ServiceError`.  Engines with their own
+        resources (the sharded engine's worker pool) are closed too.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+        engine_close = getattr(self._engine, "close", None)
+        if callable(engine_close):
+            engine_close()
+
+    def __enter__(self) -> "CoreService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError(
+                "service is closed; reads still answer, but commits and "
+                "compaction need a live session"
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -167,6 +383,22 @@ class CoreService:
         """Receipt of the most recent commit (``None`` before the first)."""
         return self._last_receipt
 
+    @property
+    def log_path(self) -> Optional[Path]:
+        """Path of the attached commit log (``None`` when unlogged)."""
+        return self._wal.path if self._wal is not None else None
+
+    @property
+    def recovery(self) -> Optional[RecoveryReport]:
+        """How this session was recovered (``None`` unless built by
+        :meth:`recover`)."""
+        return self._recovery
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has ended the session."""
+        return self._closed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         g = self.graph
         return (
@@ -180,6 +412,7 @@ class CoreService:
 
     def transaction(self) -> Transaction:
         """Start a transaction; commit happens when its context exits."""
+        self._require_open()
         return Transaction(self)
 
     def apply(self, batch: Batch) -> CommitReceipt:
@@ -204,13 +437,25 @@ class CoreService:
         mutates anything and the commit stays atomic.  Only an
         engine-internal failure can still land a partial batch; engines
         document those as bugs, not service states.
+
+        On a logged session the batch is appended to the write-ahead
+        log *before* the engine applies it (write-ahead ordering): a
+        crash between the two leaves a logged-but-unapplied record,
+        which :meth:`recover` replays onto the last snapshot — never a
+        committed-but-unlogged change.
         """
+        self._require_open()
         batch.check_applicable(self._engine.graph)
+        inject("service.before_commit")
+        receipt_id = self._next_receipt
+        self._next_receipt += 1
+        if self._wal is not None:
+            self._wal.append(receipt_id, batch)
         result = self._engine.apply_batch(batch)
         deltas = result.changed
         core = self._engine.core
         receipt = CommitReceipt(
-            receipt_id=next(self._receipt_ids),
+            receipt_id=receipt_id,
             result=result,
             deltas=deltas,
             # Capture the changed vertices' post-commit cores now, so

@@ -1,0 +1,12 @@
+"""Test-support subsystems shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the crash-recovery suite arms against the WAL, the snapshot
+writer and the engines.  It lives in the package (not ``tests/``)
+because the *production* modules carry the instrumented crash points —
+the harness is the contract between them and the test matrix.
+"""
+
+from repro.testing.faults import FAULT_POINTS, FaultPlan, InjectedFault, inject
+
+__all__ = ["FAULT_POINTS", "FaultPlan", "InjectedFault", "inject"]

@@ -132,3 +132,54 @@ class TestCommands:
         )
         assert code == 0
         assert "speedup" in out and "order" in out
+
+
+class TestDurabilityCommands:
+    def make_log(self, tmp_path):
+        from repro.service import CoreService
+
+        log = tmp_path / "session.wal"
+        svc = CoreService.open([(1, 2), (2, 3), (3, 1)], log=log)
+        with svc.transaction() as tx:
+            tx.insert(3, 4)
+        svc.close()
+        return log
+
+    def test_log_stat(self, capsys, tmp_path):
+        log = self.make_log(tmp_path)
+        code, out = run_cli(capsys, "log-stat", "--log", str(log))
+        assert code == 0
+        assert "engine: order" in out
+        assert "records: 1" in out
+        assert "torn_bytes: 0" in out
+
+    def test_recover(self, capsys, tmp_path):
+        log = self.make_log(tmp_path)
+        code, out = run_cli(capsys, "recover", "--log", str(log))
+        assert code == 0
+        assert "replayed: 1" in out
+        assert "4 vertices, 4 edges" in out
+
+    def test_recover_compact(self, capsys, tmp_path):
+        log = self.make_log(tmp_path)
+        code, out = run_cli(
+            capsys, "recover", "--log", str(log), "--compact"
+        )
+        assert code == 0
+        assert "compacted: snapshot at" in out
+        code, out = run_cli(capsys, "log-stat", "--log", str(log))
+        assert "records: 0" in out
+
+    def test_log_flag_required(self, capsys, tmp_path):
+        for cmd in ("recover", "log-stat"):
+            code = main([cmd])
+            err = capsys.readouterr().err
+            assert code == 2
+            assert "--log PATH is required" in err
+
+    def test_missing_log_file_fails_cleanly(self, capsys, tmp_path):
+        for cmd in ("recover", "log-stat"):
+            code = main([cmd, "--log", str(tmp_path / "nope.wal")])
+            err = capsys.readouterr().err
+            assert code == 1
+            assert "nope.wal" in err

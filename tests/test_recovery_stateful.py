@@ -1,0 +1,178 @@
+"""Stateful property testing of the durability path.
+
+Hypothesis drives a durable :class:`CoreService` session like a chaos
+monkey: random commits, crashes injected at random registered fault
+points (abandoning the live session exactly as a dead process would),
+and recoveries — interleaved in any order it can dream up.  A naive
+shadow graph tracks what the write-ahead contract says must be durable:
+a commit that returned a receipt is in the shadow; a commit killed
+before its log append never happened; a commit killed after the append
+is REPLAYED into the shadow at the next recovery (write-ahead means the
+log, not the engine, is the source of truth).  After every recovery the
+recovered cores must equal a from-scratch decomposition of the shadow.
+
+Parametrized over both order-family engines and both sequence backends,
+so the replay path is proven engine- and backend-independent.
+"""
+
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers
+from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreService
+from repro.testing import FaultPlan, InjectedFault
+
+VERTICES = st.integers(0, 7)
+
+#: Crash points on the single-engine durable commit path, tagged with
+#: whether a commit killed there survives recovery (see test_faults).
+CRASH_POINTS = [
+    ("service.before_commit", False),
+    ("wal.before_append", False),
+    ("wal.mid_append", False),
+    ("wal.after_append", True),
+    ("wal.before_fsync", True),
+    ("engine.mid_batch", True),
+]
+
+
+class DurableSessionMachine(RuleBasedStateMachine):
+    """Random walk over commit / crash / recover / compact."""
+
+    engine = "order"
+    opts: dict = {}
+
+    @initialize()
+    def setup(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.log = f"{self.tmp.name}/session.wal"
+        self.svc = CoreService.open(
+            log=self.log, fsync="always", engine=self.engine, **self.opts
+        )
+        self.shadow = DynamicGraph()
+        # Ops logged (hence durable) but possibly not yet in `shadow`
+        # because the crash killed the session after the append.
+        self.pending = None
+
+    def teardown(self):
+        if self.svc is not None:
+            self.svc.close()
+        self.tmp.cleanup()
+
+    def _op(self, u, v):
+        """One valid random op against the shadow, or None."""
+        if u == v:
+            return None
+        if self.shadow.has_edge(u, v):
+            return ("remove", u, v)
+        return ("insert", u, v)
+
+    def _commit_op(self, op):
+        kind, u, v = op
+        with self.svc.transaction() as tx:
+            (tx.insert if kind == "insert" else tx.remove)(u, v)
+
+    def _apply_to_shadow(self, op):
+        kind, u, v = op
+        if kind == "insert":
+            self.shadow.add_edge(u, v)
+        else:
+            self.shadow.remove_edge(u, v)
+
+    @precondition(lambda self: self.svc is not None)
+    @rule(u=VERTICES, v=VERTICES)
+    def commit(self, u, v):
+        op = self._op(u, v)
+        if op is None:
+            return
+        self._commit_op(op)
+        self._apply_to_shadow(op)
+
+    @precondition(lambda self: self.svc is not None)
+    @rule(
+        u=VERTICES,
+        v=VERTICES,
+        crash=st.sampled_from(CRASH_POINTS),
+    )
+    def crash_mid_commit(self, u, v, crash):
+        point, durable = crash
+        op = self._op(u, v)
+        if op is None:
+            return
+        with FaultPlan(seed=1).crash(point) as plan:
+            try:
+                self._commit_op(op)
+            except InjectedFault:
+                pass
+        if not plan.fired:
+            # Point not on this engine's path for this op: the commit
+            # simply succeeded.
+            self._apply_to_shadow(op)
+            return
+        # The "process" died: abandon the session without close().
+        self.svc = None
+        self.pending = op if durable else None
+
+    @precondition(lambda self: self.svc is None)
+    @rule()
+    def recover(self):
+        self.svc = CoreService.recover(self.log, fsync="always")
+        if self.pending is not None:
+            self._apply_to_shadow(self.pending)
+            self.pending = None
+        self.check_agreement()
+
+    @precondition(lambda self: self.svc is not None)
+    @rule()
+    def compact(self):
+        self.svc.compact()
+        self.check_agreement()
+
+    @precondition(lambda self: self.svc is not None)
+    @rule()
+    def check_agreement(self):
+        assert self.svc.cores() == core_numbers(self.shadow)
+        self.svc.engine.check()
+
+
+class OrderOmMachine(DurableSessionMachine):
+    engine = "order"
+    opts = {"sequence": "om"}
+
+
+class OrderTreapMachine(DurableSessionMachine):
+    engine = "order"
+    opts = {"sequence": "treap"}
+
+
+class SimplifiedOmMachine(DurableSessionMachine):
+    engine = "order-simplified"
+    opts = {"sequence": "om"}
+
+
+class SimplifiedTreapMachine(DurableSessionMachine):
+    engine = "order-simplified"
+    opts = {"sequence": "treap"}
+
+
+_SETTINGS = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+
+TestOrderOm = OrderOmMachine.TestCase
+TestOrderOm.settings = _SETTINGS
+TestOrderTreap = OrderTreapMachine.TestCase
+TestOrderTreap.settings = _SETTINGS
+TestSimplifiedOm = SimplifiedOmMachine.TestCase
+TestSimplifiedOm.settings = _SETTINGS
+TestSimplifiedTreap = SimplifiedTreapMachine.TestCase
+TestSimplifiedTreap.settings = _SETTINGS

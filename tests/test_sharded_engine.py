@@ -384,3 +384,100 @@ class TestShardedOracle:
             sharded.apply_batch(batch)
             assert sharded.core_numbers() == plain.core_numbers()
             assert sharded.core_numbers() == core_numbers(sharded.graph)
+
+
+class TestLifecycle:
+    """Satellite: close() semantics and worker-pool fault tolerance."""
+
+    def build(self, parallel=2):
+        return make_engine(
+            "order-sharded",
+            DynamicGraph([(1, 2), (2, 3), (10, 11), (11, 12)]),
+            parallel=parallel,
+        )
+
+    def test_close_is_idempotent(self):
+        engine = self.build()
+        engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_reads_answer_after_close(self):
+        engine = self.build()
+        engine.close()
+        assert engine.core_numbers()
+        assert engine.core_of(1) == 1
+        engine.check()
+
+    def test_commit_after_close_raises_service_error(self):
+        engine = self.build()
+        engine.close()
+        with pytest.raises(ServiceError, match="'order-sharded' is closed"):
+            engine.apply_batch(Batch().insert(3, 1))
+        with pytest.raises(ServiceError, match="is closed"):
+            engine.insert_edge(3, 1)
+        with pytest.raises(ServiceError, match="is closed"):
+            engine.remove_edge(1, 2)
+        with pytest.raises(ServiceError, match="is closed"):
+            engine.add_vertex(99)
+
+    def test_service_close_closes_sharded_engine(self):
+        svc = CoreService.open(
+            [(1, 2), (2, 3)], engine="order-sharded", parallel=2
+        )
+        svc.close()
+        assert svc.engine.closed
+
+    def test_transient_submit_failure_retries_then_succeeds(self, monkeypatch):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = self.build()
+        failures = {"left": 2}
+        real_submit = ThreadPoolExecutor.submit
+
+        def flaky_submit(self, fn, *args, **kwargs):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise RuntimeError("can't start new thread")
+            return real_submit(self, fn, *args, **kwargs)
+
+        monkeypatch.setattr(ThreadPoolExecutor, "submit", flaky_submit)
+        monkeypatch.setattr("repro.engine.sharded.POOL_RETRY_BACKOFF", 0.0)
+        result = engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
+        assert result.counters["pool_retries"] >= 1
+        engine.check()
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        engine.close()
+
+    def test_exhausted_retries_fall_back_to_inline_commit(self, monkeypatch):
+        from concurrent.futures import ThreadPoolExecutor
+
+        def dead_submit(self, fn, *args, **kwargs):
+            raise RuntimeError("can't start new thread")
+
+        engine = self.build()
+        monkeypatch.setattr(ThreadPoolExecutor, "submit", dead_submit)
+        monkeypatch.setattr("repro.engine.sharded.POOL_RETRY_BACKOFF", 0.0)
+        result = engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
+        # Every sub-batch still committed (inline), cores stay exact.
+        assert engine.graph.has_edge(3, 1) and engine.graph.has_edge(12, 10)
+        assert result.counters["pool_retries"] > 0
+        engine.check()
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        engine.close()
+
+    def test_worker_fault_leaves_mirror_consistent(self):
+        from repro.testing import FaultPlan, InjectedFault
+
+        engine = self.build()
+        with FaultPlan(seed=1).crash("shard.worker_commit"):
+            with pytest.raises(InjectedFault):
+                engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
+        # One shard may have committed, the other not — but the mirror
+        # graph, shard assignment and cores all describe the same state.
+        engine.check()
+        assert engine.core_numbers() == core_numbers(engine.graph)
+        engine.apply_batch(Batch().insert(5, 1))  # still usable
+        engine.check()
+        engine.close()

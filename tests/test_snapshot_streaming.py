@@ -46,19 +46,58 @@ class TestSnapshot:
         text = json.dumps(to_snapshot(engine))
         assert "version" in json.loads(text)
 
-    def test_version_checked(self):
-        with pytest.raises(StaleIndexError):
+    def test_version_skew_names_both_versions(self):
+        with pytest.raises(
+            StaleIndexError,
+            match=r"snapshot field 'version' is 99; "
+            r"this build reads version 1",
+        ):
             from_snapshot({"version": 99})
 
-    def test_missing_field_detected(self):
-        with pytest.raises(StaleIndexError):
+    def test_absent_version_reported_as_none(self):
+        with pytest.raises(
+            StaleIndexError, match=r"snapshot field 'version' is None"
+        ):
+            from_snapshot({"order": []})
+
+    def test_missing_field_named(self):
+        with pytest.raises(
+            StaleIndexError, match=r"snapshot missing field 'core'"
+        ):
             from_snapshot({"version": 1, "order": []})
 
-    def test_length_mismatch_detected(self, triangle_graph):
+    def test_length_mismatch_reports_every_length(self, triangle_graph):
         snapshot = to_snapshot(OrderedCoreMaintainer(triangle_graph))
         snapshot["core"] = snapshot["core"][:-1]
-        with pytest.raises(StaleIndexError):
+        with pytest.raises(
+            StaleIndexError,
+            match=r"inconsistent lengths: order=4, core=3, "
+            r"deg_plus=4, mcd=4",
+        ):
             from_snapshot(snapshot)
+
+    def test_unknown_engine_lists_known_engines(self, triangle_graph):
+        snapshot = to_snapshot(OrderedCoreMaintainer(triangle_graph))
+        snapshot["engine"] = "order-quantum"
+        with pytest.raises(
+            StaleIndexError,
+            match=r"names unknown engine 'order-quantum'; "
+            r"this build restores: order, order-simplified",
+        ):
+            from_snapshot(snapshot)
+
+    def test_unknown_engine_not_wrapped_as_value_error(self, triangle_graph):
+        # The unknown-engine raise sits inside a try that converts
+        # ValueError to StaleIndexError; make sure the message survives
+        # verbatim rather than being double-wrapped.
+        snapshot = to_snapshot(OrderedCoreMaintainer(triangle_graph))
+        snapshot["engine"] = "naive"
+        try:
+            from_snapshot(snapshot)
+        except StaleIndexError as exc:
+            assert "names unknown engine 'naive'" in str(exc)
+        else:  # pragma: no cover - the raise is the point
+            raise AssertionError("unknown engine accepted")
 
     def test_corrupted_invariants_detected(self, triangle_graph):
         snapshot = to_snapshot(OrderedCoreMaintainer(triangle_graph))
