@@ -68,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "list", "table1", "table2", "table3",
             "fig1", "fig2", "fig5", "fig9", "fig10", "fig11", "fig12",
-            "ablation", "batch", "validate", "recover", "log-stat", "all",
+            "ablation", "batch", "validate", "recover", "log-stat",
+            "serve", "all",
         ],
         help="which table/figure (or utility) to run",
     )
@@ -122,6 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--compact", action="store_true",
         help="recover: snapshot the recovered state and truncate the log",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="recover/log-stat: machine-readable JSON on stdout",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="serve: TCP port (default 0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help="serve: directory for per-session commit logs (durable, "
+        "recoverable sessions; omit for memory-only sessions)",
+    )
+    parser.add_argument(
+        "--fsync", default="always", choices=["always", "interval", "never"],
+        help="serve: WAL fsync policy for session logs",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="serve: stop after this many seconds (default: run forever)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -275,29 +301,69 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 failures += 1
         return 1 if failures else 0
     if args.experiment in ("recover", "log-stat"):
+        # Exit codes (scriptable health checks): 0 clean log, 3 torn
+        # tail (recoverable: crash mid-append), 4 corruption beyond the
+        # tail (LogCorruptionError), 1 other failures, 2 usage error.
         if not args.log:
             print(
                 f"{args.experiment}: --log PATH is required", file=sys.stderr
             )
             return 2
-        from repro.errors import ServiceError
+        import json as _json
+
+        from repro.errors import LogCorruptionError, ServiceError
         from repro.service import CoreService, log_stat
 
         if args.experiment == "log-stat":
             try:
                 stat = log_stat(args.log)
+            except LogCorruptionError as exc:
+                if args.json:
+                    print(_json.dumps(
+                        {"path": args.log, "error": str(exc),
+                         "corrupt": True}
+                    ))
+                print(f"log-stat: {exc}", file=sys.stderr)
+                return 4
             except (OSError, ServiceError) as exc:
                 print(f"log-stat: {exc}", file=sys.stderr)
                 return 1
-            for key, value in stat.items():
-                print(f"{key}: {value}")
-            return 0
+            if args.json:
+                print(_json.dumps(stat))
+            else:
+                for key, value in stat.items():
+                    print(f"{key}: {value}")
+            return 3 if stat["torn_bytes"] else 0
         try:
             service = CoreService.recover(args.log)
+        except LogCorruptionError as exc:
+            if args.json:
+                print(_json.dumps(
+                    {"path": args.log, "error": str(exc), "corrupt": True}
+                ))
+            print(f"recover: {exc}", file=sys.stderr)
+            return 4
         except (OSError, ServiceError) as exc:
             print(f"recover: {exc}", file=sys.stderr)
             return 1
         report = service.recovery
+        if args.json:
+            payload = {
+                "path": args.log,
+                "engine": service.engine.name,
+                "replayed": report.replayed,
+                "skipped": report.skipped,
+                "torn_bytes": report.torn_bytes,
+                "from_snapshot": report.from_snapshot,
+                "vertices": service.engine.graph.n,
+                "edges": service.engine.graph.m,
+                "degeneracy": service.engine.degeneracy(),
+            }
+            if args.compact:
+                payload["snapshot"] = str(service.compact())
+            print(_json.dumps(payload))
+            service.close()
+            return 3 if report.torn_bytes else 0
         print(f"recovered: {args.log}")
         print(f"engine: {service.engine.name}")
         print(
@@ -314,7 +380,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             snapshot = service.compact()
             print(f"compacted: snapshot at {snapshot}")
         service.close()
-        return 0
+        return 3 if report.torn_bytes else 0
+    if args.experiment == "serve":
+        import asyncio
+
+        from repro.service import CoreServer
+
+        async def _serve() -> int:
+            async with CoreServer(
+                engine=args.engine,
+                seed=args.seed,
+                log_dir=args.log_dir,
+                fsync=args.fsync,
+            ) as server:
+                host, port = await server.start(args.host, args.port)
+                durability = (
+                    f"log_dir={args.log_dir} fsync={args.fsync}"
+                    if args.log_dir
+                    else "memory-only (no --log-dir: crashes degrade "
+                    "sessions permanently)"
+                )
+                print(
+                    f"repro serve: listening on {host}:{port} "
+                    f"(engine={args.engine}, {durability})",
+                    flush=True,
+                )
+                try:
+                    if args.max_seconds is not None:
+                        await asyncio.sleep(args.max_seconds)
+                    else:
+                        await asyncio.Event().wait()
+                except asyncio.CancelledError:
+                    pass
+            return 0
+
+        try:
+            return asyncio.run(_serve())
+        except KeyboardInterrupt:
+            return 0
     if args.experiment == "all":
         results = experiments.run_all(
             names, args.updates, args.hops, **common

@@ -1,0 +1,390 @@
+"""The async client of the serving front: :class:`CoreClient`.
+
+Speaks the framed-JSONL protocol of :mod:`repro.service.protocol` to a
+:class:`~repro.service.server.CoreServer`, and hides the robustness
+machinery from callers:
+
+* **idempotent commits** — every :meth:`CoreClient.commit` carries a
+  token (auto-generated unless supplied), so retries after shed
+  requests, expired deadlines or dropped connections resolve *exactly
+  once*: the server answers a repeated token from its durable token
+  record instead of re-applying the batch;
+* **transparent retry** — ``RetryAfter`` responses are retried after
+  the server's backoff hint, ``DeadlineExceeded`` and dead connections
+  are retried with the same token (bounded by ``max_retries``), with a
+  reconnect in between;
+* **event streams** — :meth:`CoreClient.subscribe` returns an
+  :class:`EventStream` async iterator of decoded event batches, fed by
+  the background reader task, with ``reset`` frames surfaced so callers
+  know when a failover broke continuity.
+
+One connection serves one client; requests are multiplexed by id, so a
+client may issue concurrent commits/queries from many tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from typing import AsyncIterator, Iterable, Optional
+
+from repro.errors import ServiceError
+from repro.service import protocol
+from repro.service.protocol import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    RetryAfterError,
+    raise_remote_error,
+)
+
+
+class EventBatch:
+    """One decoded delivery from an event stream."""
+
+    __slots__ = ("kind", "events", "dropped", "receipt")
+
+    def __init__(self, kind: str, events: list, dropped: int,
+                 receipt: Optional[int]) -> None:
+        self.kind = kind  # "events" | "reset"
+        #: ``(vertex, old_core, new_core, receipt_id)`` tuples.
+        self.events = events
+        #: Cumulative events shed by the server-side bounded buffer.
+        self.dropped = dropped
+        #: For ``reset`` frames: last receipt the new stream starts after.
+        self.receipt = receipt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventBatch({self.kind!r}, events={len(self.events)}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class EventStream:
+    """Async iterator over one subscription's event batches.
+
+    Ends (``StopAsyncIteration``) when the subscription is closed or the
+    connection dies.  ``reset`` frames appear in-line as
+    :class:`EventBatch` items with ``kind == "reset"`` — events from the
+    server's crash window are gone; resync by querying.
+    """
+
+    def __init__(self, client: "CoreClient", sub_id: int) -> None:
+        self._client = client
+        self.sub_id = sub_id
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    def _feed(self, item: Optional[EventBatch]) -> None:
+        self._queue.put_nowait(item)
+
+    def __aiter__(self) -> AsyncIterator[EventBatch]:
+        return self
+
+    async def __anext__(self) -> EventBatch:
+        if self._closed and self._queue.empty():
+            raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is None:
+            self._closed = True
+            raise StopAsyncIteration
+        return item
+
+    async def close(self) -> None:
+        """Unsubscribe server-side and end the iterator."""
+        if not self._closed:
+            self._closed = True
+            self._client._streams.pop(self.sub_id, None)
+            try:
+                await self._client._request(
+                    "unsubscribe", {"sub": self.sub_id}
+                )
+            except ServiceError:
+                pass  # connection already gone: server cleans up itself
+            self._feed(None)
+
+
+class CoreClient:
+    """An async tenant connection to a :class:`CoreServer`.
+
+    Parameters
+    ----------
+    host / port:
+        Server address (see :meth:`connect`).
+    session:
+        Tenant session name; sessions are created on first use.
+    deadline:
+        Default per-commit deadline in seconds (sent as ``deadline_ms``).
+    max_retries:
+        How many times a commit is retried through shed responses,
+        expired deadlines and reconnects before the last error is
+        raised.
+    token_prefix:
+        Prefix of auto-generated idempotency tokens; defaults to 8
+        random hex characters per client, so concurrent clients never
+        collide.
+
+    Usage::
+
+        client = await CoreClient.connect("127.0.0.1", port, session="a")
+        await client.commit([("insert", 0, 1)])
+        await client.core(0)
+        await client.close()
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        session: str = "default",
+        deadline: float = 30.0,
+        max_retries: int = 8,
+        token_prefix: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.session = session
+        self.deadline = deadline
+        self.max_retries = max_retries
+        self._token_prefix = token_prefix or os.urandom(4).hex()
+        self._token_ids = itertools.count(1)
+        self._req_ids = itertools.count(1)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._streams: dict[int, EventStream] = {}
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+        #: Commits retried (shed / deadline / reconnect), for tests.
+        self.retries = 0
+        self.reconnects = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **kwargs) -> "CoreClient":
+        """Open a connection and start the reader task."""
+        client = cls(host, port, **kwargs)
+        await client._open()
+        return client
+
+    async def _open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.STREAM_LIMIT
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _reconnect(self) -> None:
+        self._teardown(ConnectionClosedError("reconnecting"))
+        await self._open()
+        self.reconnects += 1
+
+    def _teardown(self, exc: Exception) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._reader = None
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+        for stream in list(self._streams.values()):
+            self._streams.pop(stream.sub_id, None)
+            stream._closed = True
+            stream._feed(None)
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                message = await protocol.read_message(reader)
+                if message is None:
+                    break
+                kind = message.get("kind")
+                if kind in ("events", "reset"):
+                    self._dispatch_stream(kind, message)
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (protocol.ProtocolError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            return
+        self._reader_task = None
+        self._teardown(
+            ConnectionClosedError(
+                "connection closed before the request was answered; "
+                "commit retries must reuse their idempotency token"
+            )
+        )
+
+    def _dispatch_stream(self, kind: str, message: dict) -> None:
+        stream = self._streams.get(message.get("sub"))
+        if stream is None:
+            return  # unsubscribed while frames were in flight
+        if kind == "reset":
+            stream._feed(
+                EventBatch("reset", [], 0, message.get("receipt"))
+            )
+        else:
+            events = [tuple(e) for e in message.get("events", ())]
+            stream._feed(
+                EventBatch(
+                    "events", events, message.get("dropped", 0), None
+                )
+            )
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _request(self, method: str, params: dict) -> dict:
+        """One request/response round trip; raises on failure frames."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        if self._writer is None:
+            await self._open()
+        req_id = next(self._req_ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        record = protocol.request(req_id, method, self.session, params)
+        try:
+            async with self._send_lock:
+                await protocol.write_message(self._writer, record)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            raise ConnectionClosedError(str(exc)) from exc
+        message = await future
+        if message.get("ok"):
+            return message.get("result")
+        raise_remote_error(message.get("error") or {})
+
+    def _next_token(self) -> str:
+        return f"{self._token_prefix}-{next(self._token_ids)}"
+
+    # -- public API -----------------------------------------------------
+
+    async def commit(
+        self,
+        ops: Iterable,
+        *,
+        token: Optional[str] = None,
+        deadline: Optional[float] = None,
+        retry: bool = True,
+    ) -> dict:
+        """Commit a batch of ``(kind, u, v)`` ops; exactly-once via token.
+
+        Returns the commit summary
+        ``{"receipt_id", "ops", "changed", "replayed"}`` —
+        ``replayed=True`` means an earlier attempt already landed and the
+        server answered from its token record.  With ``retry=False`` the
+        first shed/deadline/connection error is raised instead.
+        """
+        ops = [list(op) for op in ops]
+        token = token or self._next_token()
+        deadline = self.deadline if deadline is None else deadline
+        params = {
+            "ops": ops,
+            "token": token,
+            "deadline_ms": int(deadline * 1000),
+        }
+        attempts = self.max_retries if retry else 0
+        delay = 0.01
+        for attempt in itertools.count():
+            try:
+                return await self._request("commit", params)
+            except RetryAfterError as exc:
+                if attempt >= attempts:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(exc.retry_after or delay)
+            except DeadlineExceededError:
+                if attempt >= attempts:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(delay)
+            except ConnectionClosedError:
+                if attempt >= attempts or self._closed:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(delay)
+                await self._reconnect()
+            delay = min(delay * 2, 1.0)
+
+    async def query(self, op: str, *, replica: bool = False,
+                    **params) -> dict:
+        """One read; returns ``{"result", "source", "receipt", "state"}``.
+
+        ``source`` tells where the answer came from: ``primary``,
+        ``last_good`` (degraded session) or ``replica``.
+        """
+        params["op"] = op
+        if replica:
+            params["replica"] = True
+        return await self._request("query", params)
+
+    async def core(self, vertex, *, replica: bool = False):
+        """Core number of one vertex (``None`` if absent)."""
+        reply = await self.query("core", vertex=vertex, replica=replica)
+        return reply["result"]
+
+    async def cores(self, *, replica: bool = False) -> dict:
+        """Full core map (decoded from the wire's pair list)."""
+        reply = await self.query("cores", replica=replica)
+        return {v: c for v, c in reply["result"]}
+
+    async def top(self, n: int = 10, *, replica: bool = False) -> list:
+        reply = await self.query("top", n=n, replica=replica)
+        return [tuple(pair) for pair in reply["result"]]
+
+    async def spectrum(self, *, replica: bool = False) -> dict:
+        reply = await self.query("spectrum", replica=replica)
+        return {int(k): n for k, n in reply["result"]}
+
+    async def degeneracy(self, *, replica: bool = False) -> int:
+        reply = await self.query("degeneracy", replica=replica)
+        return reply["result"]
+
+    async def kcore(self, k: int, *, replica: bool = False) -> list:
+        reply = await self.query("kcore", k=k, replica=replica)
+        return reply["result"]
+
+    async def status(self) -> dict:
+        """The session's supervisor status (state, counters, recovery)."""
+        return await self._request("status", {})
+
+    async def server_stats(self) -> dict:
+        return await self._request("server_stats", {})
+
+    async def ping(self) -> bool:
+        return await self._request("ping", {}) == "pong"
+
+    async def subscribe(self, *, min_k: Optional[int] = None,
+                        buffer: Optional[int] = None) -> EventStream:
+        """Stream core events; see :class:`EventStream` for semantics."""
+        params: dict = {}
+        if min_k is not None:
+            params["min_k"] = min_k
+        if buffer is not None:
+            params["buffer"] = buffer
+        result = await self._request("subscribe", params)
+        stream = EventStream(self, result["sub"])
+        self._streams[result["sub"]] = stream
+        return stream
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown(ConnectionClosedError("client closed"))
+
+    async def __aenter__(self) -> "CoreClient":
+        if self._writer is None:
+            await self._open()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

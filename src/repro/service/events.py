@@ -12,10 +12,15 @@ without ever polling engine state.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
 
 from repro.engine.batch import vertex_sort_key
+from repro.errors import ServiceError, SubscriptionOverflowError
+
+#: Accepted overflow policies for bounded subscriptions.
+OVERFLOW_POLICIES = ("block", "drop_oldest", "error")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.service.session import CoreService
@@ -65,20 +70,81 @@ class Subscription:
     directly.  With ``min_k`` set, only events that *touch* the cores at
     or above that level are delivered: a vertex entering, leaving, or
     moving within the ``>= min_k`` region (``max(old, new) >= min_k``).
+
+    **Unbounded (default):** ``callback(event)`` runs inline on the
+    commit path, one call per filtered event — a slow callback slows
+    every commit.
+
+    **Bounded (``max_pending=N``):** filtered events land in an internal
+    buffer of at most ``N`` events instead; the consumer empties it on
+    its own schedule with :meth:`drain` (through the callback) or
+    :meth:`take` (raw events — pass ``callback=None`` for a pure
+    pull-mode subscription).  When a commit would overflow the buffer,
+    the ``overflow`` policy decides:
+
+    ``"block"``
+        the commit path drains the whole backlog through the callback
+        first (the producer pays for the lagging consumer — synchronous
+        backpressure);
+    ``"drop_oldest"``
+        the oldest buffered event is discarded and
+        :attr:`dropped_events` incremented (bounded memory, lossy —
+        the policy the async serving front uses per subscriber);
+    ``"error"``
+        :class:`~repro.errors.SubscriptionOverflowError` is raised out
+        of the commit (which has already been applied — the same
+        contract as a raising callback).
     """
 
-    __slots__ = ("_service", "_callback", "_min_k", "_active")
+    __slots__ = (
+        "_service",
+        "_callback",
+        "_min_k",
+        "_active",
+        "_max_pending",
+        "_overflow",
+        "_pending",
+        "dropped_events",
+    )
 
     def __init__(
         self,
         service: "CoreService",
-        callback: EventCallback,
+        callback: Optional[EventCallback],
         min_k: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        overflow: str = "block",
     ) -> None:
+        if overflow not in OVERFLOW_POLICIES:
+            raise ServiceError(
+                f"unknown overflow policy {overflow!r}; choose from "
+                f"{', '.join(OVERFLOW_POLICIES)}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if callback is None:
+            if max_pending is None:
+                raise ServiceError(
+                    "a subscription without a callback must be bounded "
+                    "(pass max_pending=...) and consumed via take()"
+                )
+            if overflow == "block":
+                raise ServiceError(
+                    "overflow='block' drains through the callback; a "
+                    "pull-mode (callback=None) subscription needs "
+                    "'drop_oldest' or 'error'"
+                )
         self._service = service
         self._callback = callback
         self._min_k = min_k
         self._active = True
+        self._max_pending = max_pending
+        self._overflow = overflow
+        self._pending: deque[CoreEvent] = deque()
+        #: Events discarded by the ``drop_oldest`` policy so far.
+        self.dropped_events = 0
 
     @property
     def active(self) -> bool:
@@ -90,8 +156,28 @@ class Subscription:
         """The subscription's core-level filter (``None`` = everything)."""
         return self._min_k
 
+    @property
+    def max_pending(self) -> Optional[int]:
+        """The buffer bound (``None`` = unbounded inline delivery)."""
+        return self._max_pending
+
+    @property
+    def overflow(self) -> str:
+        """The bounded buffer's overflow policy."""
+        return self._overflow
+
+    @property
+    def pending(self) -> int:
+        """Buffered events awaiting :meth:`drain` / :meth:`take`."""
+        return len(self._pending)
+
     def close(self) -> None:
-        """Stop receiving events; idempotent."""
+        """Stop receiving events; idempotent.
+
+        Already-buffered events stay readable through :meth:`drain` /
+        :meth:`take` — closing stops *new* deliveries, it does not
+        discard what the consumer has not seen yet.
+        """
         if self._active:
             self._active = False
             self._service._unsubscribe(self)
@@ -102,15 +188,58 @@ class Subscription:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Deliver up to ``limit`` buffered events through the callback.
+
+        Returns how many were delivered.  Raises
+        :class:`~repro.errors.ServiceError` on a pull-mode subscription
+        (no callback) — use :meth:`take` there.
+        """
+        if self._callback is None:
+            raise ServiceError(
+                "pull-mode subscription has no callback; use take()"
+            )
+        delivered = 0
+        while self._pending and (limit is None or delivered < limit):
+            self._callback(self._pending.popleft())
+            delivered += 1
+        return delivered
+
+    def take(self, limit: Optional[int] = None) -> tuple[CoreEvent, ...]:
+        """Pop and return up to ``limit`` buffered events (all if ``None``)."""
+        if limit is None or limit >= len(self._pending):
+            events = tuple(self._pending)
+            self._pending.clear()
+            return events
+        return tuple(
+            self._pending.popleft() for _ in range(max(0, limit))
+        )
+
     def _deliver(self, events: Sequence[CoreEvent]) -> None:
         """Dispatch a commit's events through the filter, in order."""
         min_k = self._min_k
+        bounded = self._max_pending is not None
         for event in events:
             if not self._active:
                 break  # the callback closed us mid-commit
             if min_k is not None and max(event.old_core, event.new_core) < min_k:
                 continue
-            self._callback(event)
+            if not bounded:
+                self._callback(event)
+                continue
+            if len(self._pending) >= self._max_pending:
+                if self._overflow == "drop_oldest":
+                    self._pending.popleft()
+                    self.dropped_events += 1
+                elif self._overflow == "error":
+                    raise SubscriptionOverflowError(
+                        f"subscription buffer full ({self._max_pending} "
+                        "pending events); drain() or take() them, raise "
+                        "max_pending, or pick a lossy overflow policy"
+                    )
+                else:  # block: the commit path pays to flush the backlog
+                    self.drain()
+            self._pending.append(event)
 
 
 def events_from_deltas(

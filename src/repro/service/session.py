@@ -94,6 +94,7 @@ class CoreService:
         self._last_receipt: Optional[CommitReceipt] = None
         self._wal = None
         self._closed = False
+        self._poisoned = False
         self._recovery: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
@@ -301,6 +302,12 @@ class CoreService:
         from repro.core.snapshot import to_snapshot, write_json_atomic
 
         self._require_open()
+        if self._poisoned:
+            raise ServiceError(
+                "engine was poisoned by a mid-commit failure; refusing to "
+                "snapshot a possibly half-mutated index — recover from "
+                "the log instead"
+            )
         if self._wal is None:
             raise ServiceError(
                 "service has no commit log to compact; open the session "
@@ -399,6 +406,18 @@ class CoreService:
         """Whether :meth:`close` has ended the session."""
         return self._closed
 
+    @property
+    def poisoned(self) -> bool:
+        """Whether a mid-commit engine failure invalidated the session.
+
+        A poisoned session still answers reads (from the possibly
+        half-mutated in-memory state — callers wanting last-*good* state
+        must keep their own, as the serving front's degraded mode does)
+        but refuses every further commit.  On a logged session,
+        :meth:`recover` builds a clean replacement from the log.
+        """
+        return self._poisoned
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         g = self.graph
         return (
@@ -415,9 +434,19 @@ class CoreService:
         self._require_open()
         return Transaction(self)
 
-    def apply(self, batch: Batch) -> CommitReceipt:
-        """Commit a prebuilt :class:`~repro.engine.batch.Batch`."""
-        return self._commit(batch)
+    def apply(
+        self, batch: Batch, *, token: Optional[str] = None
+    ) -> CommitReceipt:
+        """Commit a prebuilt :class:`~repro.engine.batch.Batch`.
+
+        ``token`` is an optional client-supplied idempotency key: on a
+        logged session it is recorded in the commit's write-ahead record,
+        so after a crash a retrying caller (the async serving front) can
+        tell from the log whether this exact commit already landed
+        instead of applying it twice.  The service itself does not
+        deduplicate — the token is durable bookkeeping for supervisors.
+        """
+        return self._commit(batch, token=token)
 
     def insert(self, u: Vertex, v: Vertex) -> CommitReceipt:
         """One-op sugar: commit a single edge insertion."""
@@ -427,7 +456,9 @@ class CoreService:
         """One-op sugar: commit a single edge removal."""
         return self._commit(Batch().remove(u, v))
 
-    def _commit(self, batch: Batch) -> CommitReceipt:
+    def _commit(
+        self, batch: Batch, *, token: Optional[str] = None
+    ) -> CommitReceipt:
         """Apply ``batch``, mint a receipt, notify subscribers.
 
         The batch is validated against the current graph *first*
@@ -436,7 +467,11 @@ class CoreService:
         raises :class:`~repro.errors.BatchError` before the engine
         mutates anything and the commit stays atomic.  Only an
         engine-internal failure can still land a partial batch; engines
-        document those as bugs, not service states.
+        document those as bugs, not service states — when one happens
+        anyway (or a fault plan simulates one), the session is marked
+        :attr:`poisoned` and refuses further commits: the in-memory
+        index is no longer trustworthy, and on a logged session
+        :meth:`recover` rebuilds a clean one from the log.
 
         On a logged session the batch is appended to the write-ahead
         log *before* the engine applies it (write-ahead ordering): a
@@ -445,13 +480,27 @@ class CoreService:
         committed-but-unlogged change.
         """
         self._require_open()
+        if self._poisoned:
+            raise ServiceError(
+                "engine was poisoned by a mid-commit failure; reads still "
+                "answer from the last in-memory state, but commits need a "
+                "fresh session (CoreService.recover on a logged session)"
+            )
         batch.check_applicable(self._engine.graph)
         inject("service.before_commit")
         receipt_id = self._next_receipt
         self._next_receipt += 1
         if self._wal is not None:
-            self._wal.append(receipt_id, batch)
-        result = self._engine.apply_batch(batch)
+            self._wal.append(receipt_id, batch, token=token)
+        try:
+            result = self._engine.apply_batch(batch)
+        except BaseException:
+            # The engine raised mid-apply: its index may be half-mutated
+            # (validation already passed, so this is an engine-internal
+            # failure or an injected crash).  Poison the session so no
+            # later commit builds on a corrupt in-memory state.
+            self._poisoned = True
+            raise
         deltas = result.changed
         core = self._engine.core
         receipt = CommitReceipt(
@@ -524,7 +573,12 @@ class CoreService:
     # ------------------------------------------------------------------
 
     def subscribe(
-        self, callback: EventCallback, *, min_k: Optional[int] = None
+        self,
+        callback: Optional[EventCallback] = None,
+        *,
+        min_k: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        overflow: str = "block",
     ) -> Subscription:
         """Deliver every future commit's core events to ``callback``.
 
@@ -538,6 +592,17 @@ class CoreService:
         the remaining dispatch and propagates out of the commit; the
         commit itself is already applied.
 
+        A slow callback slows every commit, so subscriptions can be
+        *bounded* instead: with ``max_pending=N`` events are buffered on
+        the subscription (consume them with
+        :meth:`~repro.service.events.Subscription.drain` or
+        :meth:`~repro.service.events.Subscription.take`) and the
+        ``overflow`` policy — ``"block"`` (commit path flushes the
+        backlog), ``"drop_oldest"`` (discard + count) or ``"error"`` —
+        decides what a full buffer does.  ``callback=None`` makes a
+        pure pull-mode subscription (requires ``max_pending`` and a
+        non-``block`` policy).
+
         >>> svc = CoreService.open([(0, 1), (1, 2), (2, 0)])
         >>> sub = svc.subscribe(
         ...     lambda e: print(e.vertex, e.old_core, "->", e.new_core)
@@ -547,7 +612,9 @@ class CoreService:
         >>> sub.close()
         >>> receipt = svc.insert(1, 3)   # closed: nothing printed
         """
-        subscription = Subscription(self, callback, min_k)
+        subscription = Subscription(
+            self, callback, min_k, max_pending=max_pending, overflow=overflow
+        )
         self._subscribers.append(subscription)
         return subscription
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
@@ -111,6 +111,9 @@ class LogInfo:
     records: list
     valid_bytes: int
     total_bytes: int
+    #: receipt id -> idempotency token, for records that carried one
+    #: (see :meth:`WriteAheadLog.append`); empty otherwise.
+    tokens: dict = field(default_factory=dict)
 
     @property
     def torn_bytes(self) -> int:
@@ -168,6 +171,7 @@ def scan(path: PathLike) -> LogInfo:
             f"{WAL_VERSION}"
         )
     records: list[tuple[int, list]] = []
+    tokens: dict[int, str] = {}
     last = header.get("base_receipt", 0)
     for end, record in parsed[1:]:
         if record.get("kind") != "commit":
@@ -183,12 +187,95 @@ def scan(path: PathLike) -> LogInfo:
             )
         last = receipt
         records.append((receipt, record["ops"]))
+        if record.get("token") is not None:
+            tokens[receipt] = record["token"]
     valid_bytes = parsed[-1][0] if parsed else 0
     return LogInfo(
         header=header,
         records=records,
         valid_bytes=valid_bytes,
         total_bytes=len(data),
+        tokens=tokens,
+    )
+
+
+def read_header(path: PathLike) -> dict:
+    """Decode just the log's header record (first frame, one small read).
+
+    Cheap enough to call per poll: the log replica compares successive
+    headers to notice a compaction (:meth:`WriteAheadLog.rotate`
+    rewrites the header with a new ``base_receipt``) without re-scanning
+    the whole file.
+    """
+    with open(path, "rb") as fh:
+        line = fh.readline()
+    if not line.endswith(b"\n"):
+        raise LogCorruptionError(
+            f"commit log {str(path)!r} has no valid header record"
+        )
+    record = _parse_frame(line[:-1])
+    if record is None or record.get("kind") != "header":
+        raise LogCorruptionError(
+            f"commit log {str(path)!r} has no valid header record"
+        )
+    return record
+
+
+@dataclass(frozen=True)
+class TailChunk:
+    """One incremental read of a live log (see :func:`tail`).
+
+    ``records`` / ``tokens`` mirror :class:`LogInfo`; ``offset`` is
+    where the next :func:`tail` call should resume; ``rotated`` means
+    the file shrank below the requested offset (a compaction replaced
+    it) and the caller must rebuild from the snapshot instead of
+    resuming.
+    """
+
+    records: list
+    tokens: dict
+    offset: int
+    rotated: bool
+
+
+def tail(path: PathLike, offset: int = 0) -> TailChunk:
+    """Read the complete frames appended at or after ``offset``.
+
+    The polling read for WAL-fed read replicas: unlike :func:`scan` it
+    tolerates a trailing partial frame (the writer may be mid-append —
+    the bytes are simply left for the next call) and never repairs the
+    file.  ``offset`` must be a frame boundary previously returned by
+    :func:`tail` (or ``0``, which also validates and skips the header).
+    A file shorter than ``offset`` reports ``rotated=True`` with nothing
+    parsed.
+    """
+    data = Path(path).read_bytes()
+    if offset > len(data):
+        return TailChunk(records=[], tokens={}, offset=0, rotated=True)
+    records: list[tuple[int, list]] = []
+    tokens: dict[int, str] = {}
+    position = offset
+    first = offset == 0
+    while position < len(data):
+        newline = data.find(b"\n", position)
+        if newline < 0:
+            break  # partial frame: the writer is mid-append
+        record = _parse_frame(data[position:newline])
+        if record is None:
+            break  # not yet valid; scan()/attach() decide if it's torn
+        if first:
+            if record.get("kind") != "header":
+                raise LogCorruptionError(
+                    f"commit log {str(path)!r} has no valid header record"
+                )
+            first = False
+        elif record.get("kind") == "commit":
+            records.append((record["receipt"], record["ops"]))
+            if record.get("token") is not None:
+                tokens[record["receipt"]] = record["token"]
+        position = newline + 1
+    return TailChunk(
+        records=records, tokens=tokens, offset=position, rotated=False
     )
 
 
@@ -335,17 +422,30 @@ class WriteAheadLog:
     # Appending
     # ------------------------------------------------------------------
 
-    def append(self, receipt_id: int, batch: Batch) -> None:
-        """Durably record one commit *before* the engine applies it."""
+    def append(
+        self, receipt_id: int, batch: Batch, *, token: Optional[str] = None
+    ) -> None:
+        """Durably record one commit *before* the engine applies it.
+
+        ``token`` (optional) is a caller-supplied idempotency key stored
+        in the record; :func:`scan` and :func:`tail` report it back via
+        their ``tokens`` maps, letting a supervisor rebuild its
+        retry-deduplication table from the log after a crash.
+        """
         self._require_open()
         if receipt_id <= self._last_receipt:
             raise ServiceError(
                 f"commit log receipt ids must increase: got {receipt_id} "
                 f"after {self._last_receipt}"
             )
-        payload = json.dumps(
-            {"kind": "commit", "receipt": receipt_id, "ops": batch_to_ops(batch)}
-        ).encode()
+        record = {
+            "kind": "commit",
+            "receipt": receipt_id,
+            "ops": batch_to_ops(batch),
+        }
+        if token is not None:
+            record["token"] = token
+        payload = json.dumps(record).encode()
         framed = _frame(payload)
         inject("wal.before_append")
         if is_armed("wal.mid_append"):

@@ -7,6 +7,18 @@ because the *production* modules carry the instrumented crash points —
 the harness is the contract between them and the test matrix.
 """
 
-from repro.testing.faults import FAULT_POINTS, FaultPlan, InjectedFault, inject
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FaultPlan,
+    InjectedFault,
+    inject,
+    register_fault_point,
+)
 
-__all__ = ["FAULT_POINTS", "FaultPlan", "InjectedFault", "inject"]
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPlan",
+    "InjectedFault",
+    "inject",
+    "register_fault_point",
+]

@@ -32,7 +32,10 @@ from typing import Optional
 from repro.errors import ReproError
 
 #: Every registered crash point and where it fires.  Arming an unknown
-#: name is a test bug and raises immediately.
+#: name is a test bug and raises immediately.  Subsystems outside the
+#: durable write path (the async serving front, the log replica) add
+#: their own points at import time via :func:`register_fault_point`
+#: instead of growing this literal.
 FAULT_POINTS: dict[str, str] = {
     "service.before_commit": (
         "CoreService._commit: batch validated, nothing written or applied"
@@ -62,6 +65,30 @@ FAULT_POINTS: dict[str, str] = {
         "rename not yet performed"
     ),
 }
+
+
+def register_fault_point(name: str, description: str) -> None:
+    """Register a named fault point so plans can arm it.
+
+    Instrumented subsystems call this at import time for their own
+    points (``server.*``, ``replica.*``, …); the core durable-write
+    points above stay predeclared.  Re-registering a point with the
+    same description is a no-op (modules may be reimported); changing
+    an existing point's description raises — two call sites claiming
+    the same name is a bug.
+    """
+    if "." not in name:
+        raise ValueError(
+            f"fault point names are namespaced 'subsystem.point', got {name!r}"
+        )
+    if not description:
+        raise ValueError(f"fault point {name!r} needs a description")
+    existing = FAULT_POINTS.get(name)
+    if existing is not None and existing != description:
+        raise ValueError(
+            f"fault point {name!r} is already registered as: {existing}"
+        )
+    FAULT_POINTS[name] = description
 
 
 class InjectedFault(ReproError):

@@ -217,13 +217,79 @@ class TestInjectedFaultPropagation:
         svc.close()
 
 
+class TestRegisterFaultPoint:
+    """The extension hook: layers above the WAL register their own
+    points (the serving front's ``server.*``/``replica.*`` live there)."""
+
+    def test_registered_point_is_armable(self):
+        from repro.testing import register_fault_point
+
+        register_fault_point(
+            "testonly.extension_point", "a point registered by this test"
+        )
+        try:
+            with FaultPlan() as plan:
+                plan.crash("testonly.extension_point")
+                with pytest.raises(InjectedFault):
+                    inject("testonly.extension_point")
+            assert plan.fired == ["testonly.extension_point"]
+        finally:
+            FAULT_POINTS.pop("testonly.extension_point", None)
+
+    def test_unknown_point_arming_names_the_catalogue(self):
+        with pytest.raises(ValueError, match="registered points:"):
+            FaultPlan().crash("testonly.never_registered")
+
+    def test_idempotent_reregistration(self):
+        from repro.testing import register_fault_point
+
+        register_fault_point("testonly.idem", "same description")
+        try:
+            register_fault_point("testonly.idem", "same description")
+            with pytest.raises(ValueError, match="already registered"):
+                register_fault_point("testonly.idem", "different words")
+        finally:
+            FAULT_POINTS.pop("testonly.idem", None)
+
+    def test_rejects_malformed_registrations(self):
+        from repro.testing import register_fault_point
+
+        with pytest.raises(ValueError, match="namespaced"):
+            register_fault_point("nodot", "a description")
+        with pytest.raises(ValueError, match="description"):
+            register_fault_point("testonly.blank", "")
+
+    def test_serving_front_points_self_register(self):
+        import repro.service  # noqa: F401 - registers on import
+
+        for point in (
+            "server.drop_conn", "server.slow_write",
+            "server.partial_frame", "replica.stale_read",
+        ):
+            assert point in FAULT_POINTS
+            assert "behavioural" in FAULT_POINTS[point]
+
+
+#: The serving front's points are *behavioural* (caught and converted to
+#: network misbehaviour by the server/replica — exercised end-to-end in
+#: test_service_server.py), not process-crash points on the durable
+#: commit path, so the reachability sweep below excludes them.
+BEHAVIOURAL_PREFIXES = ("server.", "replica.")
+
+
 class TestPointCatalogue:
     def test_every_point_is_reachable(self, tmp_path):
-        """Each registered point actually fires somewhere on the durable
-        commit/compaction path — a point nothing calls is dead weight
-        and a hole in the matrix."""
+        """Each registered crash point actually fires somewhere on the
+        durable commit/compaction path — a point nothing calls is dead
+        weight and a hole in the matrix."""
+        import repro.service  # noqa: F401 - registers the served points
+
+        crash_points = [
+            p for p in FAULT_POINTS
+            if not p.startswith(BEHAVIOURAL_PREFIXES)
+        ]
         reached = set()
-        for point in FAULT_POINTS:
+        for point in crash_points:
             log = tmp_path / f"{point}.wal"
             engine = "order-sharded" if point.startswith("shard") else "order"
             svc = CoreService.open(engine=engine, log=log, fsync="always")
@@ -243,4 +309,4 @@ class TestPointCatalogue:
                         reached.add(point)
             finally:
                 svc.close()
-        assert reached == set(FAULT_POINTS)
+        assert reached == set(crash_points)

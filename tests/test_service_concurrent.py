@@ -1,0 +1,193 @@
+"""Linearization harness: concurrent clients vs a serial shadow oracle.
+
+Hypothesis drives N async clients against one :class:`CoreServer`, each
+working a *disjoint vertex pocket* and interleaving commits, queries and
+injected crash-restarts (``engine.mid_batch`` fires mid-run, so the WAL
+may or may not hold the poisoned commit).  Clients retry every commit
+with its idempotency token until acked.  Afterwards the write-ahead log
+is the arbiter:
+
+* every acked commit appears in the log **exactly once** (no token
+  committed twice — the exactly-once contract under retries, crashes and
+  failovers);
+* an offline :meth:`CoreService.recover` equals a *serial* replay of the
+  log into a fresh graph (the shadow oracle), equals a from-scratch
+  ``core_numbers`` decomposition;
+* each client's pocket ends with exactly the core numbers of the edges
+  it got acked — concurrency with other tenants' pockets never leaks in.
+"""
+
+import asyncio
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_numbers
+from repro.graphs.undirected import DynamicGraph
+from repro.service import CoreClient, CoreServer, CoreService, ServerLimits
+from repro.service.wal import batch_from_ops, scan
+from repro.testing.faults import FaultPlan
+
+POCKET = 1000  # vertex id stride separating client pockets
+
+
+def pocket_edges(client_index, n):
+    """``n`` distinct edges inside client ``client_index``'s pocket."""
+    base = POCKET * (client_index + 1)
+    edges = []
+    for i in range(n):
+        # A path with chords: connected enough to move core numbers.
+        u = base + i
+        v = base + i + 1 if i % 3 else base + (i // 3)
+        if u == v:
+            v = u + 1
+        edges.append((u, v))
+    return edges
+
+
+async def run_client(client, index, plan_ops, acked, crash_plan):
+    """One tenant's life: commit each op (retrying on anything), query."""
+    edges = pocket_edges(index, len(plan_ops))
+    mine = []
+    for op, (u, v) in zip(plan_ops, edges):
+        if op == "crash" and crash_plan is not None:
+            crash_plan.crash("engine.mid_batch")
+        summary = await client.commit([("insert", u, v)], deadline=30)
+        acked.append((summary["receipt_id"], u, v))
+        mine.append((u, v))
+        if op == "query":
+            reply = await client.query("cores")
+            got = {
+                vert: c
+                for vert, c in reply["result"]
+                if POCKET * (index + 1) <= vert < POCKET * (index + 2)
+            }
+            want = oracle(mine)
+            # Degraded windows can only show *my own already-acked*
+            # history, so the pocket oracle holds on every source.
+            assert got == want, (reply["source"], got, want)
+    return mine
+
+
+def oracle(edges):
+    graph = DynamicGraph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return core_numbers(graph)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    plans=st.lists(
+        st.lists(
+            st.sampled_from(["commit", "commit", "query", "crash"]),
+            min_size=2,
+            max_size=6,
+        ),
+        min_size=2,
+        max_size=4,
+    ),
+)
+def test_concurrent_clients_linearize_against_the_log(plans):
+    async def scenario(tmp):
+        limits = ServerLimits(default_deadline=30.0)
+        acked: list = []
+        async with CoreServer(log_dir=tmp, limits=limits) as server:
+            host, port = await server.start()
+            clients = [
+                await CoreClient.connect(host, port, session=f"s{i}")
+                for i in range(len(plans))
+            ]
+            # One shared crash plan: any armed point fires on whichever
+            # session's writer reaches it first — chaos by design; the
+            # invariants below must hold regardless.
+            with FaultPlan() as crash_plan:
+                pockets = await asyncio.gather(*[
+                    run_client(c, i, plan, acked, crash_plan)
+                    for i, (c, plan) in enumerate(zip(clients, plans))
+                ])
+            for client in clients:
+                await client.close()
+        return acked, pockets
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        acked, pockets = asyncio.run(
+            asyncio.wait_for(scenario(tmp), 120)
+        )
+
+        # The log is the arbiter, one session at a time.
+        all_edges = []
+        for i in range(len(plans)):
+            log = tmp / f"s{i}.wal"
+            info = scan(log)
+            logged = [rid for rid, _ in info.records]
+            assert len(logged) == len(set(logged)), (
+                "a receipt id was logged twice"
+            )
+            tokens = Counter(info.tokens.values())
+            assert all(n == 1 for n in tokens.values()), (
+                f"a token committed twice: {tokens}"
+            )
+            acked_here = [
+                rid for rid, u, v in acked if POCKET * (i + 1) <= u
+                < POCKET * (i + 2)
+            ]
+            for rid in acked_here:
+                assert rid in logged, (
+                    f"acked receipt {rid} missing from {log.name}"
+                )
+            assert len(acked_here) == len(set(acked_here)) == len(logged), (
+                "every logged commit must be exactly one acked commit"
+            )
+
+            # Serial shadow replay == offline recovery == decomposition.
+            shadow = DynamicGraph()
+            for _, ops in info.records:
+                batch = batch_from_ops(ops)
+                for op in batch:
+                    if op.kind == "insert":
+                        shadow.add_edge(*op.edge)
+                    else:
+                        shadow.remove_edge(*op.edge)
+            recovered = CoreService.recover(log)
+            assert recovered.cores() == core_numbers(shadow)
+            assert recovered.cores() == oracle(pockets[i])
+            recovered.close()
+            all_edges.extend(pockets[i])
+
+        # Pockets are disjoint: the union decomposes independently.
+        union = oracle(all_edges)
+        for i, mine in enumerate(pockets):
+            for vert, c in oracle(mine).items():
+                assert union[vert] == c
+
+
+def test_server_restart_mid_workload(tmp_path):
+    """A full server bounce (not just a session crash) loses nothing."""
+    async def phase(tmp, first):
+        async with CoreServer(log_dir=tmp) as server:
+            host, port = await server.start()
+            client = await CoreClient.connect(host, port, session="t")
+            edges = pocket_edges(0, 12)
+            half = edges[:6] if first else edges[6:]
+            for u, v in half:
+                await client.commit([("insert", u, v)], deadline=30)
+            cores = await client.cores()
+            await client.close()
+            return cores
+
+    asyncio.run(phase(tmp_path, True))
+    cores = asyncio.run(phase(tmp_path, False))
+    assert cores == oracle(pocket_edges(0, 12))
+
+    recovered = CoreService.recover(tmp_path / "t.wal")
+    assert recovered.cores() == cores
+    recovered.close()

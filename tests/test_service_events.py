@@ -158,3 +158,111 @@ def test_naive_engine_tells_the_same_story():
         "naive", 11, n_batches=4, batch_size=15, universe=30
     )
     assert order == naive
+
+
+# ---------------------------------------------------------------------------
+# Bounded (pull-mode) subscriptions
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedSubscriptions:
+    """max_pending + overflow policies, validated against the oracle."""
+
+    def test_pull_mode_drains_the_full_story(self):
+        """A bounded pull subscription with room sees exactly what an
+        unbounded callback subscription sees — the event-oracle suite's
+        contract carries over."""
+        rng = random.Random(3)
+        base, batches = mixed_batch_stream(rng, 4, 15, 30)
+        svc = CoreService.open(DynamicGraph(base), engine="order", seed=3)
+        captured = []
+        svc.subscribe(captured.append)
+        pulled = svc.subscribe(max_pending=10_000, overflow="drop_oldest")
+        for batch in batches:
+            captured.clear()
+            svc.apply(batch)
+            got = pulled.take()
+            assert list(got) == captured
+            assert pulled.pending == 0
+        assert pulled.dropped_events == 0
+        svc.close()
+
+    def test_drop_oldest_keeps_newest_and_counts(self):
+        svc = CoreService.open(engine="order")
+        sub = svc.subscribe(max_pending=3, overflow="drop_oldest")
+        for i in range(8):
+            svc.insert(100 + i, 200 + i)  # two events per commit
+        assert sub.pending == 3
+        assert sub.dropped_events == 16 - 3
+        newest = sub.take()
+        # The survivors are the *latest* events, in delivery order.
+        assert [e.receipt_id for e in newest] == [7, 8, 8]
+        svc.close()
+
+    def test_error_policy_raises_and_commit_survives(self):
+        from repro.errors import SubscriptionOverflowError
+
+        svc = CoreService.open(engine="order")
+        sub = svc.subscribe(max_pending=2, overflow="error")
+        with pytest.raises(SubscriptionOverflowError):
+            for i in range(4):
+                svc.insert(i * 2, i * 2 + 1)
+        # The overflow surfaced mid-commit, but the commit itself landed
+        # (events fan out after apply) and the session keeps working.
+        sub.close()
+        svc.insert(50, 51)
+        assert svc.core(50) == 1
+        svc.close()
+
+    def test_block_policy_calls_back_inline(self):
+        """block on a callback subscription: the buffer self-drains by
+        invoking the callback when full, so nothing is ever lost."""
+        seen = []
+        svc = CoreService.open(engine="order")
+        sub = svc.subscribe(seen.append, max_pending=2, overflow="block")
+        for i in range(6):
+            svc.insert(300 + i, 400 + i)
+        sub.drain()  # the final commits' events are still buffered
+        assert len(seen) == 12  # every event delivered, none dropped
+        assert sub.dropped_events == 0
+        svc.close()
+
+    def test_pull_mode_requires_bound_and_policy(self):
+        from repro.errors import ServiceError
+
+        svc = CoreService.open(engine="order")
+        with pytest.raises(ServiceError, match="max_pending"):
+            svc.subscribe()  # pull-mode needs an explicit bound
+        with pytest.raises(ServiceError, match="block"):
+            svc.subscribe(max_pending=4)  # and a non-blocking policy
+        with pytest.raises(ServiceError, match="overflow"):
+            svc.subscribe(max_pending=4, overflow="bogus")
+        with pytest.raises(ServiceError, match="max_pending"):
+            svc.subscribe(max_pending=0, overflow="drop_oldest")
+        svc.close()
+
+    def test_take_limits_and_close_keeps_buffered(self):
+        svc = CoreService.open(engine="order")
+        sub = svc.subscribe(max_pending=100, overflow="drop_oldest")
+        svc.insert(1, 2)
+        svc.insert(3, 4)
+        first = sub.take(1)
+        assert len(first) == 1
+        sub.close()
+        # Closing stops new deliveries but buffered events stay readable.
+        rest = sub.take()
+        assert len(rest) == 3
+        svc.insert(5, 6)
+        assert list(sub.take()) == []
+        svc.close()
+
+    def test_min_k_filter_composes_with_bounds(self):
+        svc = CoreService.open(engine="order")
+        sub = svc.subscribe(min_k=2, max_pending=50, overflow="drop_oldest")
+        svc.insert(0, 1)            # cores stay below 2: filtered out
+        assert sub.pending == 0
+        svc.apply(Batch.inserts([(1, 2), (2, 0)]))  # triangle: crosses 2
+        events = sub.take()
+        assert {e.vertex for e in events} == {0, 1, 2}
+        assert all(e.new_core == 2 for e in events)
+        svc.close()

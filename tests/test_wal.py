@@ -379,3 +379,106 @@ class TestDurableSession:
         self.commit(svc, (3, 4))
         assert log_stat(log)["records"] == 1
         svc.close()
+
+
+class TestTokensAndTailing:
+    """PR-8 additions: idempotency tokens in records, incremental tail
+    reads, and the cheap header probe the replica's rotation check uses."""
+
+    def test_append_records_token_and_scan_collects_it(self, tmp_path):
+        log = tmp_path / "s.wal"
+        wal = make_log(log)
+        wal.append(1, Batch().insert(1, 2), token="client-a-1")
+        wal.append(2, Batch().insert(2, 3))  # tokenless commits stay legal
+        wal.append(3, Batch().insert(3, 1), token="client-b-9")
+        wal.close()
+        info = scan(log)
+        assert info.tokens == {1: "client-a-1", 3: "client-b-9"}
+        assert [rid for rid, _ in info.records] == [1, 2, 3]
+
+    def test_tokens_survive_recovery_roundtrip(self, tmp_path):
+        log = tmp_path / "s.wal"
+        svc = CoreService.open(log=log)
+        svc.apply(Batch().insert(1, 2), token="tok-1")
+        svc.apply(Batch().insert(2, 3), token="tok-2")
+        del svc  # crash: no close
+        rec = CoreService.recover(log)
+        assert scan(log).tokens == {1: "tok-1", 2: "tok-2"}
+        # New commits after recovery keep appending tokens.
+        rec.apply(Batch().insert(3, 1), token="tok-3")
+        assert scan(log).tokens[3] == "tok-3"
+        rec.close()
+
+    def test_read_header_matches_scan(self, tmp_path):
+        from repro.service.wal import read_header
+
+        log = tmp_path / "s.wal"
+        make_log(log, engine="order-treap", seed=7).close()
+        assert read_header(log) == scan(log).header
+
+    def test_read_header_rejects_garbage(self, tmp_path):
+        from repro.service.wal import read_header
+
+        log = tmp_path / "s.wal"
+        log.write_bytes(b"not a frame at all\n")
+        with pytest.raises(LogCorruptionError):
+            read_header(log)
+
+    def test_tail_reads_only_new_frames(self, tmp_path):
+        from repro.service.wal import tail
+
+        log = tmp_path / "s.wal"
+        wal = make_log(log)
+        wal.append(1, Batch().insert(1, 2))
+        chunk = tail(log, 0)
+        assert [rid for rid, _ in chunk.records] == [1]
+        assert not chunk.rotated
+        offset = chunk.offset
+        wal.append(2, Batch().insert(2, 3))
+        wal.append(3, Batch().insert(3, 1))
+        chunk2 = tail(log, offset)
+        assert [rid for rid, _ in chunk2.records] == [2, 3]
+        assert chunk2.tokens == {}
+        # Nothing new: empty chunk, same offset.
+        chunk3 = tail(log, chunk2.offset)
+        assert chunk3.records == []
+        assert chunk3.offset == chunk2.offset
+        wal.close()
+
+    def test_tail_tolerates_a_writer_mid_append(self, tmp_path):
+        """A partial trailing frame is left for the next poll — the
+        replica polls while the primary is mid-write."""
+        from repro.service.wal import tail
+
+        log = tmp_path / "s.wal"
+        wal = make_log(log)
+        wal.append(1, Batch().insert(1, 2))
+        base = tail(log, 0).offset
+        full = _frame(json.dumps(
+            {"kind": "commit", "receipt": 2, "ops": [["insert", 2, 3]]}
+        ).encode())
+        with open(log, "ab") as fh:
+            fh.write(full[: len(full) // 2])
+        chunk = tail(log, base)
+        assert chunk.records == []  # partial frame: wait, don't guess
+        assert chunk.offset == base
+        with open(log, "ab") as fh:
+            fh.write(full[len(full) // 2:])
+        chunk2 = tail(log, base)
+        assert [rid for rid, _ in chunk2.records] == [2]
+        wal.close()
+
+    def test_tail_detects_rotation_by_shrink(self, tmp_path):
+        from repro.service.wal import tail
+
+        log = tmp_path / "s.wal"
+        wal = make_log(log)
+        for i in range(5):
+            wal.append(i + 1, Batch().insert(i, i + 100))
+        offset = tail(log, 0).offset
+        wal.close()
+        # Simulate a compaction rotating the log under the tailer: the
+        # file is replaced by a fresh, shorter one.
+        log.unlink()
+        make_log(log, base_receipt=5).close()
+        assert tail(log, offset).rotated
