@@ -118,22 +118,15 @@ def interleave_removals(
 
     ``present_pool`` seeds the removable set; inserted edges join it.
     Returns an ordered op list of ``("insert"|"remove", edge)`` pairs.
+
+    The update-mix semantics live in
+    :func:`repro.scenarios.generators.interleaved_plan` (one source of
+    truth, shared with the ``mixed`` scenario family); this is the
+    bench-facing alias.
     """
-    if not 0.0 <= p <= 1.0:
-        raise WorkloadError(f"removal probability {p} outside [0, 1]")
-    rng = random.Random(seed)
-    removable = list(present_pool)
-    plan: list[tuple[str, Edge]] = []
-    for edge in insertions:
-        plan.append(("insert", edge))
-        removable.append(edge)
-        if removable and rng.random() < p:
-            index = rng.randrange(len(removable))
-            victim = removable[index]
-            removable[index] = removable[-1]
-            removable.pop()
-            plan.append(("remove", victim))
-    return plan
+    from repro.scenarios.generators import interleaved_plan
+
+    return interleaved_plan(present_pool, insertions, p, seed=seed)
 
 
 def batches_from_plan(

@@ -69,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
             "list", "table1", "table2", "table3",
             "fig1", "fig2", "fig5", "fig9", "fig10", "fig11", "fig12",
             "ablation", "batch", "validate", "recover", "log-stat",
-            "serve", "all",
+            "serve", "gen", "replay", "all",
         ],
         help="which table/figure (or utility) to run",
     )
@@ -148,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-seconds", type=float, default=None,
         help="serve: stop after this many seconds (default: run forever)",
+    )
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="gen: scenario family to generate (see repro.scenarios; "
+        "e.g. burst, sliding-window, flash-crowd, relabel-storm, "
+        "shard-merge-storm, mixed)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="gen: write the trace here (default: stdout, for piping "
+        "into 'repro replay')",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay: read the trace here (default: stdin)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="replay: verify the trace end to end, replay it across "
+        "--engines asserting identical per-tick core maps, and — for a "
+        "registered scenario family — regenerate from the header and "
+        "assert the bytes match",
+    )
+    parser.add_argument(
+        "--engines", default="order,order-simplified", metavar="NAMES",
+        help="replay --check: comma-separated engine list that must "
+        "agree (default: order,order-simplified)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -418,6 +445,120 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return asyncio.run(_serve())
         except KeyboardInterrupt:
             return 0
+    if args.experiment == "gen":
+        import json as _json
+
+        from repro import scenarios as sc
+        from repro.errors import ScenarioError
+
+        if not args.scenario:
+            print(
+                "gen: --scenario NAME is required (known: "
+                f"{', '.join(sc.available_scenarios())})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenario = sc.make_scenario(
+                args.scenario, seed=args.seed, scale=args.scale or 1.0
+            )
+        except ScenarioError as exc:
+            print(f"gen: {exc}", file=sys.stderr)
+            return 2
+        written = sc.record(scenario, args.out or sys.stdout.buffer)
+        summary = dict(
+            scenario.describe(), bytes=written, target=args.out or "<stdout>"
+        )
+        if args.json and args.out:
+            print(_json.dumps(summary))
+        else:
+            # stdout may be carrying the trace — the summary goes to
+            # stderr so 'repro gen | repro replay' pipes stay clean.
+            print(
+                f"gen: {scenario.name} seed={scenario.seed} "
+                f"ticks={scenario.n_ticks} ops={scenario.n_ops} "
+                f"bytes={written} -> {summary['target']}",
+                file=sys.stderr,
+            )
+        return 0
+    if args.experiment == "replay":
+        import json as _json
+        from pathlib import Path
+
+        from repro import scenarios as sc
+        from repro.engine.registry import is_engine_name
+        from repro.errors import ScenarioError, TraceError
+
+        # Exit codes (scriptable, mirroring recover/log-stat): 0 ok,
+        # 2 usage error, 4 bad trace bytes, 5 replay disagreement.
+        try:
+            if args.trace:
+                data = Path(args.trace).read_bytes()
+                origin = repr(args.trace)
+            else:
+                data = sys.stdin.buffer.read()
+                origin = "<stdin>"
+        except OSError as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 1
+        try:
+            scenario = sc.loads(data, origin=origin)
+        except TraceError as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 4
+        if args.check:
+            engines = [
+                e.strip() for e in args.engines.split(",") if e.strip()
+            ]
+        else:
+            engines = [args.engine]
+        bad = [e for e in engines if not is_engine_name(e)]
+        if bad or not engines:
+            print(
+                f"replay: unknown engines {', '.join(bad) or '(none)'}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            reports = sc.replay_all(
+                scenario, engines, seed=args.seed, check=args.check
+            )
+        except ScenarioError as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 5
+        if args.check and scenario.name in sc.SCENARIOS:
+            regenerated = sc.make_scenario(
+                scenario.name, seed=scenario.seed, **scenario.params
+            )
+            if sc.dumps(regenerated) != data:
+                print(
+                    f"replay: trace bytes do not match regenerating "
+                    f"{scenario.name!r} with seed {scenario.seed}",
+                    file=sys.stderr,
+                )
+                return 5
+        primary = reports[engines[0]]
+        if args.json:
+            payload = primary.summary()
+            payload["engines"] = engines
+            payload["checked"] = bool(args.check)
+            print(_json.dumps(payload))
+        else:
+            s = primary.summary()
+            checked = (
+                f" (agreement across {', '.join(engines)} checked)"
+                if args.check
+                else ""
+            )
+            print(
+                f"replay: {s['scenario']} via {s['engine']}: "
+                f"{s['ticks']} ticks, {s['ops']} ops "
+                f"({s['inserts']} ins / {s['removes']} rm) in "
+                f"{s['elapsed_seconds']:.3f}s — "
+                f"{s['ops_per_second']:.0f} ops/s, final digest "
+                f"{s['final_digest']}{checked}"
+            )
+        return 0
     if args.experiment == "all":
         results = experiments.run_all(
             names, args.updates, args.hops, **common

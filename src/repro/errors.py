@@ -109,6 +109,43 @@ class WorkloadError(ReproError, ValueError):
     """A benchmark workload was mis-specified (e.g. sampling too many edges)."""
 
 
+class ScenarioError(ReproError, ValueError):
+    """A workload scenario was mis-specified, or replays diverged.
+
+    Raised for unknown scenario names, invalid generator parameters, and
+    by the replay driver's agreement check when two engines (or a live
+    and a recorded run) produce different per-tick core maps.
+    """
+
+
+class TraceError(ReproError, ValueError):
+    """A recorded scenario trace is unreadable.
+
+    Carries the byte offset of the first bad frame so a truncated or
+    corrupted artifact can be diagnosed precisely.
+    """
+
+    def __init__(self, message: str, *, offset: int = -1) -> None:
+        if offset >= 0:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class EdgeListFormatError(ReproError, ValueError):
+    """An edge-list file has a malformed or out-of-contract line.
+
+    Names the file and the 1-based line number, unlike the bare
+    ``ValueError`` ``int()`` would raise.
+    """
+
+    def __init__(self, path: object, lineno: int, reason: str) -> None:
+        super().__init__(f"{path}:{lineno}: {reason}")
+        self.path = str(path)
+        self.lineno = lineno
+        self.reason = reason
+
+
 class DatasetError(ReproError, KeyError):
     """An unknown dataset name was requested from the registry."""
 

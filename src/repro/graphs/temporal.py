@@ -60,30 +60,86 @@ class TemporalEdgeStream:
         return [(u, v) for u, v, _ in self._edges[len(self._edges) - k :]]
 
     def ticks(
-        self, every: Optional[float] = None
+        self,
+        every: Optional[float] = None,
+        *,
+        every_seconds: Optional[float] = None,
+        count: Optional[int] = None,
     ) -> Iterator[tuple[float, list[Edge]]]:
         """Group the stream into arrival *ticks* for batched replay.
 
         Yields ``(t, edges)`` pairs in time order, where every edge of one
-        tick shares the tick's timestamp bucket — the unit
+        tick shares the tick's bucket — the unit
         :meth:`repro.streaming.SlidingWindowCoreMonitor.observe_many`
         consumes, so all of a tick's arrivals land on the engine as one
-        batch.
+        batch.  The three grouping knobs are mutually exclusive:
 
-        With ``every=None`` a tick is a maximal run of *identical*
-        timestamps (the dataset's own granularity).  With ``every > 0``
-        timestamps are bucketed into windows of that width — the knob for
-        stand-in datasets whose timestamps are dense event indices, where
-        a bucket models the burst of arrivals a real feed would deliver
-        with one timestamp.  Each tick reports the *latest* timestamp it
-        contains, so consecutive ticks are strictly increasing and can be
-        fed to a time-ordered consumer directly.
+        ``every=None`` (and no other knob)
+            A tick is a maximal run of *identical* timestamps (the
+            dataset's own granularity).
+        ``every > 0``
+            Timestamps are bucketed into width-``every`` windows by
+            absolute value (``t // every``) — the knob for stand-in
+            datasets whose timestamps are dense event indices.  Each
+            tick reports the *latest* timestamp it contains.
+        ``every_seconds > 0``
+            Wall-clock windows **aligned to the stream's first
+            timestamp**: window ``i`` covers
+            ``[t0 + i*w, t0 + (i+1)*w)`` and the tick reports the
+            window's *closing* time — the shape of a real feed flushed
+            every ``w`` seconds.  Empty windows (including the
+            empty *final* window that opens when the last edge sits
+            exactly on a boundary) are never emitted.
+        ``count >= 1``
+            Count-based ticks of exactly ``count`` edges each (the last
+            may be shorter), stamped with the latest timestamp they
+            contain; stamps are non-decreasing but may repeat when a
+            timestamp run spans groups.
+
+        Apart from ``count`` grouping, consecutive tick timestamps are
+        strictly increasing and can be fed to a time-ordered consumer
+        directly.
         """
+        knobs = [k for k in (every, every_seconds, count) if k is not None]
+        if len(knobs) > 1:
+            raise WorkloadError(
+                "pass at most one of every=, every_seconds=, count="
+            )
+        if count is not None:
+            if count < 1:
+                raise WorkloadError(
+                    f"tick count must be >= 1, got {count}"
+                )
+            for start in range(0, len(self._edges), count):
+                group = self._edges[start : start + count]
+                yield group[-1][2], [(u, v) for u, v, _ in group]
+            return
+        if every_seconds is not None:
+            if every_seconds <= 0:
+                raise WorkloadError(
+                    f"tick width must be positive, got {every_seconds}"
+                )
+            if not self._edges:
+                return
+            t0 = self._edges[0][2]
+            width = every_seconds
+            window: Optional[int] = None
+            pending: list[Edge] = []
+            for u, v, t in self._edges:
+                key = int((t - t0) // width)
+                if pending and key != window:
+                    yield t0 + (window + 1) * width, pending
+                    pending = []
+                window = key
+                pending.append((u, v))
+            if pending:  # never a trailing empty window
+                yield t0 + (window + 1) * width, pending
+            return
         if every is not None and every <= 0:
             raise WorkloadError(f"tick width must be positive, got {every}")
         pending_key: Optional[float] = None
         pending_t = 0.0
-        pending: list[Edge] = []
+        pending = []
         for u, v, t in self._edges:
             key = t if every is None else t // every
             if pending and key != pending_key:

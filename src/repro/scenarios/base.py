@@ -1,0 +1,258 @@
+"""The common scenario shape: timed :class:`Tick` batches over a base graph.
+
+Every workload this library replays — synthetic generator output
+(:mod:`repro.scenarios.generators`), recorded traces
+(:mod:`repro.scenarios.trace`) and real temporal edge lists
+(:mod:`repro.scenarios.loaders`) — reduces to one :class:`Scenario`: a
+starting edge set plus a strictly time-ordered sequence of
+:class:`~repro.engine.batch.Batch` ticks.  The replay driver
+(:mod:`repro.scenarios.replay`) pushes any scenario through a
+:class:`~repro.service.CoreService`, one commit per tick, so benches,
+hypothesis suites and the CLI all measure exactly the same streams.
+
+A scenario is *valid by construction*: every insert targets an absent
+edge and every removal a present one when the ticks are applied in order
+from the base graph, so :meth:`Batch.check_applicable` never fires
+mid-replay.  :class:`ScenarioBuilder` maintains that invariant for
+generators and loaders by tracking the live edge set as ops are staged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.engine.batch import INSERT, REMOVE, Batch, normalize_edge
+from repro.errors import ScenarioError
+from repro.graphs.undirected import DynamicGraph
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One timed unit of replay: all of ``batch`` commits at time ``t``."""
+
+    t: float
+    batch: Batch
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class Scenario:
+    """A deterministic, replayable stream of timed batch ticks.
+
+    Parameters
+    ----------
+    name:
+        Scenario family (a :mod:`~repro.scenarios.generators` registry
+        name) or a free-form label for loaded traces.
+    seed:
+        The seed the stream was generated from (``0`` for real traces).
+    params:
+        The resolved generator parameters — enough, together with
+        ``name`` and ``seed``, to regenerate the stream exactly; that is
+        what makes recorded traces verifiable byte-for-byte.
+    base_edges:
+        Edges present before the first tick (the replay's base graph).
+    ticks:
+        :class:`Tick` instances with strictly increasing timestamps.
+    """
+
+    __slots__ = ("name", "seed", "params", "base_edges", "ticks")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        seed: int = 0,
+        params: Optional[dict] = None,
+        base_edges: Iterable[Edge] = (),
+        ticks: Sequence[Tick] = (),
+    ) -> None:
+        self.name = str(name)
+        self.seed = seed
+        self.params = dict(params or {})
+        self.base_edges: list[Edge] = [
+            normalize_edge(u, v) for u, v in base_edges
+        ]
+        if len(set(self.base_edges)) != len(self.base_edges):
+            raise ScenarioError(
+                f"scenario {self.name!r} has duplicate base edges"
+            )
+        self.ticks: list[Tick] = list(ticks)
+        last: Optional[float] = None
+        for tick in self.ticks:
+            if not isinstance(tick, Tick):
+                raise ScenarioError(
+                    f"scenario ticks must be Tick instances, got "
+                    f"{type(tick).__name__}"
+                )
+            if last is not None and tick.t <= last:
+                raise ScenarioError(
+                    f"scenario {self.name!r} tick timestamps must be "
+                    f"strictly increasing: {tick.t} after {last}"
+                )
+            last = tick.t
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_ticks(self) -> int:
+        return len(self.ticks)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(tick.batch) for tick in self.ticks)
+
+    def counts(self) -> tuple[int, int]:
+        """Total ``(insertions, removals)`` across every tick."""
+        inserts = removes = 0
+        for tick in self.ticks:
+            i, r = tick.batch.counts()
+            inserts += i
+            removes += r
+        return inserts, removes
+
+    def base_graph(self) -> DynamicGraph:
+        """A fresh graph holding the base edges (the replay start state)."""
+        return DynamicGraph(self.base_edges)
+
+    def plan(self) -> list[tuple[str, Edge]]:
+        """The ticks flattened into one ordered ``(kind, edge)`` op list.
+
+        The bridge to the pre-scenario workload helpers
+        (:func:`repro.bench.workloads.batches_from_plan`): replaying the
+        plan per edge from :meth:`base_graph` yields the same final
+        cores as replaying the ticks batch by batch.
+        """
+        return [
+            (op.kind, op.edge) for tick in self.ticks for op in tick.batch
+        ]
+
+    def describe(self) -> dict:
+        """A JSON-ready summary (the CLI's ``repro gen`` report)."""
+        inserts, removes = self.counts()
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "base_edges": len(self.base_edges),
+            "ticks": self.n_ticks,
+            "ops": self.n_ops,
+            "inserts": inserts,
+            "removes": removes,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.seed == other.seed
+            and self.params == other.params
+            and self.base_edges == other.base_edges
+            and [(t.t, list(t.batch)) for t in self.ticks]
+            == [(t.t, list(t.batch)) for t in other.ticks]
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash only
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scenario({self.name!r}, seed={self.seed}, "
+            f"base={len(self.base_edges)}, ticks={self.n_ticks}, "
+            f"ops={self.n_ops})"
+        )
+
+
+class ScenarioBuilder:
+    """Accumulate a valid scenario tick by tick.
+
+    Tracks the live edge set (base edges plus every staged op) so
+    generators and loaders can only emit applicable streams:
+    :meth:`insert` of a live edge and :meth:`remove` of an absent one
+    return ``False`` instead of staging an invalid op.  :meth:`tick`
+    closes the staged ops into one :class:`Tick`; empty ticks are
+    skipped, so the built scenario never carries no-op commits.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        seed: int = 0,
+        params: Optional[dict] = None,
+        base_edges: Iterable[Edge] = (),
+    ) -> None:
+        self._name = name
+        self._seed = seed
+        self._params = dict(params or {})
+        self._base: list[Edge] = []
+        self._live: set[Edge] = set()
+        for u, v in base_edges:
+            edge = normalize_edge(u, v)
+            if edge not in self._live:
+                self._live.add(edge)
+                self._base.append(edge)
+        self._ticks: list[Tick] = []
+        self._pending: list[tuple[str, Edge]] = []
+        self._last_t: Optional[float] = None
+
+    @property
+    def live(self) -> frozenset[Edge]:
+        """The edge set after every staged op (read-only view)."""
+        return frozenset(self._live)
+
+    def insert(self, u: Vertex, v: Vertex) -> bool:
+        """Stage an insertion; ``False`` if the edge is already live."""
+        edge = normalize_edge(u, v)
+        if edge in self._live:
+            return False
+        self._live.add(edge)
+        self._pending.append((INSERT, edge))
+        return True
+
+    def remove(self, u: Vertex, v: Vertex) -> bool:
+        """Stage a removal; ``False`` if the edge is not live."""
+        edge = normalize_edge(u, v)
+        if edge not in self._live:
+            return False
+        self._live.remove(edge)
+        self._pending.append((REMOVE, edge))
+        return True
+
+    def tick(self, t: Optional[float] = None) -> bool:
+        """Close the staged ops into one tick at time ``t``.
+
+        ``t`` defaults to the next integer timestamp.  Returns whether a
+        tick was emitted (staged ops were present).
+        """
+        if t is None:
+            t = 0.0 if self._last_t is None else float(int(self._last_t) + 1)
+        t = float(t)
+        if self._last_t is not None and t <= self._last_t:
+            raise ScenarioError(
+                f"tick timestamps must be strictly increasing: "
+                f"{t} after {self._last_t}"
+            )
+        if not self._pending:
+            return False
+        self._last_t = t
+        self._ticks.append(Tick(t, Batch(self._pending)))
+        self._pending = []
+        return True
+
+    def build(self) -> Scenario:
+        """Finish: any staged ops become one final tick."""
+        self.tick()
+        return Scenario(
+            self._name,
+            seed=self._seed,
+            params=self._params,
+            base_edges=self._base,
+            ticks=self._ticks,
+        )

@@ -1,0 +1,235 @@
+"""Recorded scenario traces: a durable, framed-JSONL stream artifact.
+
+A trace file makes any scenario — generated, loaded from a real temporal
+network, or captured live — a replayable artifact that benches, CI and
+the hypothesis suites can share.  The framing reuses the write-ahead
+log's (:mod:`repro.service.wal`) crash-evident line format::
+
+    <length> <crc32-hex> <payload>\\n
+
+so a truncated or corrupted frame is *detected* (length or checksum
+mismatch) rather than silently mis-parsed.  Unlike the WAL there is no
+torn-tail repair: a trace is an immutable artifact, so any bad frame
+raises :class:`~repro.errors.TraceError` with the byte offset.
+
+Record layout (JSON payloads, canonical encoding — sorted keys, no
+whitespace — so ``record -> load -> record`` round-trips byte-for-byte):
+
+* first frame: the header — format tag, version, scenario ``name`` /
+  ``seed`` / ``params``, the base edge list, and the total tick and op
+  counts (which is how :func:`verify` catches a file truncated exactly
+  at a frame boundary);
+* one frame per tick: ``{"kind": "tick", "seq", "t", "ops"}`` with ops
+  as ``[kind, u, v]`` triples (the WAL's op encoding).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Union
+
+from repro.engine.batch import Batch
+from repro.errors import TraceError
+from repro.scenarios.base import Scenario, Tick
+from repro.service.wal import _frame, _parse_frame, batch_to_ops
+
+PathLike = Union[str, Path]
+
+#: Trace format version; bump on framing or payload layout changes.
+TRACE_VERSION = 1
+
+#: Header tag distinguishing traces from WAL files (same framing).
+TRACE_FORMAT = "repro-trace"
+
+
+def _canonical(payload: dict) -> bytes:
+    """Deterministic JSON bytes — the byte-identity contract."""
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+    except (TypeError, ValueError) as exc:
+        raise TraceError(
+            f"trace records must be JSON-representable: {exc}"
+        ) from exc
+
+
+def dumps(scenario: Scenario) -> bytes:
+    """Serialize a scenario to trace bytes (see :func:`record`)."""
+    inserts, removes = scenario.counts()
+    header = {
+        "kind": "header",
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "params": scenario.params,
+        "base": [[u, v] for u, v in scenario.base_edges],
+        "ticks": scenario.n_ticks,
+        "ops": scenario.n_ops,
+    }
+    out = io.BytesIO()
+    out.write(_frame(_canonical(header)))
+    for seq, tick in enumerate(scenario.ticks):
+        out.write(_frame(_canonical({
+            "kind": "tick",
+            "seq": seq,
+            "t": tick.t,
+            "ops": batch_to_ops(tick.batch),
+        })))
+    return out.getvalue()
+
+
+def record(scenario: Scenario, target: Union[PathLike, IO[bytes]]) -> int:
+    """Write a scenario as a trace; returns the bytes written.
+
+    ``target`` is a path or a binary file object (e.g. ``stdout.buffer``
+    for piping ``repro gen`` into ``repro replay``).
+    """
+    data = dumps(scenario)
+    if hasattr(target, "write"):
+        target.write(data)
+    else:
+        Path(target).write_bytes(data)
+    return len(data)
+
+
+def _parse(data: bytes, origin: str) -> tuple[dict, list[dict]]:
+    """Split trace bytes into (header, tick records), offset-checked."""
+    offset = 0
+    header: dict = {}
+    ticks: list[dict] = []
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            raise TraceError(
+                f"trace {origin} ends with a truncated frame",
+                offset=offset,
+            )
+        record_ = _parse_frame(data[offset:newline])
+        if record_ is None:
+            raise TraceError(
+                f"trace {origin} has a corrupt frame", offset=offset
+            )
+        if offset == 0:
+            if (
+                record_.get("kind") != "header"
+                or record_.get("format") != TRACE_FORMAT
+            ):
+                raise TraceError(
+                    f"trace {origin} has no valid trace header "
+                    f"(is this a WAL file?)",
+                    offset=0,
+                )
+            if record_.get("version") != TRACE_VERSION:
+                raise TraceError(
+                    f"trace {origin} is format version "
+                    f"{record_.get('version')!r}; this build reads "
+                    f"version {TRACE_VERSION}",
+                    offset=0,
+                )
+            header = record_
+        elif record_.get("kind") != "tick":
+            raise TraceError(
+                f"trace {origin} has a record of unknown kind "
+                f"{record_.get('kind')!r}",
+                offset=offset,
+            )
+        else:
+            if record_.get("seq") != len(ticks):
+                raise TraceError(
+                    f"trace {origin} tick sequence broken: expected "
+                    f"seq {len(ticks)}, found {record_.get('seq')!r}",
+                    offset=offset,
+                )
+            ticks.append(record_)
+        offset = newline + 1
+    if not header:
+        raise TraceError(f"trace {origin} is empty", offset=0)
+    if len(ticks) != header.get("ticks"):
+        raise TraceError(
+            f"trace {origin} declares {header.get('ticks')} ticks but "
+            f"carries {len(ticks)} — truncated at a frame boundary?",
+            offset=len(data),
+        )
+    return header, ticks
+
+
+def loads(data: bytes, origin: str = "<bytes>") -> Scenario:
+    """Rebuild a :class:`Scenario` from trace bytes."""
+    header, tick_records = _parse(data, origin)
+    ticks = [
+        Tick(
+            float(rec["t"]),
+            Batch((kind, (u, v)) for kind, u, v in rec["ops"]),
+        )
+        for rec in tick_records
+    ]
+    scenario = Scenario(
+        header["name"],
+        seed=header["seed"],
+        params=header.get("params", {}),
+        base_edges=[(u, v) for u, v in header.get("base", [])],
+        ticks=ticks,
+    )
+    if scenario.n_ops != header.get("ops"):
+        raise TraceError(
+            f"trace {origin} declares {header.get('ops')} ops but "
+            f"carries {scenario.n_ops}"
+        )
+    return scenario
+
+
+def load(source: Union[PathLike, IO[bytes]]) -> Scenario:
+    """Load a trace from a path or binary file object."""
+    if hasattr(source, "read"):
+        return loads(source.read(), origin="<stream>")
+    path = Path(source)
+    return loads(path.read_bytes(), origin=repr(str(path)))
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Outcome of :func:`verify`: the header's claims, all checked."""
+
+    name: str
+    seed: int
+    params: dict
+    base_edges: int
+    ticks: int
+    ops: int
+    total_bytes: int
+
+
+def verify(source: Union[PathLike, IO[bytes]]) -> TraceInfo:
+    """Validate a trace end to end without building the scenario.
+
+    Checks the framing (length + crc32 per line), the header, the tick
+    sequence numbers and the declared tick/op totals; raises
+    :class:`~repro.errors.TraceError` with the byte offset of the first
+    problem.
+    """
+    if hasattr(source, "read"):
+        data, origin = source.read(), "<stream>"
+    else:
+        path = Path(source)
+        data, origin = path.read_bytes(), repr(str(path))
+    header, tick_records = _parse(data, origin)
+    ops = sum(len(rec["ops"]) for rec in tick_records)
+    if ops != header.get("ops"):
+        raise TraceError(
+            f"trace {origin} declares {header.get('ops')} ops but "
+            f"carries {ops}"
+        )
+    return TraceInfo(
+        name=header["name"],
+        seed=header["seed"],
+        params=header.get("params", {}),
+        base_edges=len(header.get("base", [])),
+        ticks=len(tick_records),
+        ops=ops,
+        total_bytes=len(data),
+    )

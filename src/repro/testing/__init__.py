@@ -5,6 +5,10 @@ harness the crash-recovery suite arms against the WAL, the snapshot
 writer and the engines.  It lives in the package (not ``tests/``)
 because the *production* modules carry the instrumented crash points —
 the harness is the contract between them and the test matrix.
+
+:mod:`repro.testing.scenarios` carries the miniature parameterizations
+of the workload scenario families (:mod:`repro.scenarios`) that the
+cross-engine replay-agreement suites share.
 """
 
 from repro.testing.faults import (
@@ -15,10 +19,30 @@ from repro.testing.faults import (
     register_fault_point,
 )
 
+_SCENARIO_HELPERS = (
+    "TINY_PARAMS", "TINY_SCALE", "tiny_scenario", "tiny_scenarios"
+)
+
+
+def __getattr__(name: str):
+    # Lazy: the engines import repro.testing.faults at module load, and
+    # repro.testing.scenarios pulls the whole scenarios/service stack —
+    # importing it eagerly here would be circular.
+    if name in _SCENARIO_HELPERS:
+        from repro.testing import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FAULT_POINTS",
     "FaultPlan",
     "InjectedFault",
     "inject",
     "register_fault_point",
+    "TINY_PARAMS",
+    "TINY_SCALE",
+    "tiny_scenario",
+    "tiny_scenarios",
 ]

@@ -1,0 +1,40 @@
+"""Tiny scenario fixtures for the test matrix and hypothesis suites.
+
+Cross-engine replay agreement is quadratic in patience — every tick of
+every scenario replays on every engine under comparison — so the suites
+run the families at miniature parameterizations.  The shrunken knobs
+live here, next to the harness code, so every suite (unit, property,
+server round-trip) stresses the identical streams.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import Scenario, available_scenarios, make_scenario
+
+#: Per-family miniature knobs: same shapes, a fraction of the ops.
+TINY_PARAMS: dict[str, dict] = {
+    "burst": dict(
+        ticks=6, trickle=2, burst_every=3, burst_size=10, pocket=6
+    ),
+    "sliding-window": dict(ticks=10, arrivals=4, window=3),
+    "flash-crowd": dict(waves=2, crowd=6, links=2, dwell=1),
+    "relabel-storm": dict(ticks=6, chain=6, anchors=2),
+    "shard-merge-storm": dict(cycles=3, pockets=3, pocket_size=4),
+    "mixed": dict(tick_ops=12, p=0.25),
+}
+
+#: Scale for the miniature base graphs (generator minimums still apply).
+TINY_SCALE = 0.25
+
+
+def tiny_scenario(name: str, seed: int = 0) -> Scenario:
+    """The miniature edition of family ``name`` — same stress shape,
+    tens of ops instead of hundreds."""
+    return make_scenario(
+        name, seed=seed, scale=TINY_SCALE, **TINY_PARAMS.get(name, {})
+    )
+
+
+def tiny_scenarios(seed: int = 0) -> list[Scenario]:
+    """One miniature scenario per registered family."""
+    return [tiny_scenario(name, seed=seed) for name in available_scenarios()]

@@ -1,0 +1,502 @@
+"""Unit and property tests for the workload scenario subsystem.
+
+Covers the scenario shape (builder invariants, validity by
+construction), the seeded generator families (byte-reproducibility,
+registry hygiene), the recorded-trace format (round-trips, corruption
+and truncation detection with byte offsets) and the SNAP loaders.
+"""
+
+import gzip
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import scenarios as sc
+from repro.errors import (
+    EdgeListFormatError,
+    ScenarioError,
+    TraceError,
+    WorkloadError,
+)
+from repro.graphs.io import read_temporal_edge_list
+from repro.graphs.temporal import TemporalEdgeStream
+from repro.scenarios.base import Scenario, ScenarioBuilder, Tick
+from repro.engine.batch import Batch
+from repro.testing import TINY_PARAMS, tiny_scenario
+
+FIXTURE = "tests/data/snap_temporal_sample.txt"
+
+FAMILIES = sc.available_scenarios()
+
+
+# ----------------------------------------------------------------------
+# Scenario / ScenarioBuilder
+# ----------------------------------------------------------------------
+
+class TestScenarioShape:
+    def test_builder_skips_invalid_ops(self):
+        b = ScenarioBuilder("t", base_edges=[(0, 1)])
+        assert not b.insert(1, 0)      # already live (normalized)
+        assert not b.remove(2, 3)      # absent
+        assert b.insert(1, 2)
+        assert not b.insert(2, 1)      # now live
+        assert b.remove(0, 1)
+        assert not b.remove(0, 1)      # already removed
+        s = b.build()
+        assert s.plan() == [("insert", (1, 2)), ("remove", (0, 1))]
+
+    def test_builder_ticks_strictly_increase(self):
+        b = ScenarioBuilder("t")
+        b.insert(0, 1)
+        assert b.tick(5.0)
+        b.insert(1, 2)
+        with pytest.raises(ScenarioError):
+            b.tick(5.0)
+
+    def test_builder_empty_tick_skipped(self):
+        b = ScenarioBuilder("t")
+        assert not b.tick(1.0)
+        b.insert(0, 1)
+        assert b.tick(2.0)
+        s = b.build()
+        assert s.n_ticks == 1
+
+    def test_builder_default_timestamps_are_consecutive(self):
+        b = ScenarioBuilder("t")
+        b.insert(0, 1)
+        b.tick()
+        b.insert(1, 2)
+        b.tick()
+        assert [t.t for t in b.build().ticks] == [0.0, 1.0]
+
+    def test_scenario_rejects_duplicate_base_edges(self):
+        with pytest.raises(ScenarioError):
+            Scenario("t", base_edges=[(0, 1), (1, 0)])
+
+    def test_scenario_rejects_unordered_ticks(self):
+        ticks = [
+            Tick(2.0, Batch([("insert", (0, 1))])),
+            Tick(1.0, Batch([("insert", (1, 2))])),
+        ]
+        with pytest.raises(ScenarioError):
+            Scenario("t", ticks=ticks)
+
+    def test_counts_and_describe(self):
+        s = tiny_scenario("burst", seed=1)
+        inserts, removes = s.counts()
+        assert inserts + removes == s.n_ops
+        d = s.describe()
+        assert d["ticks"] == s.n_ticks
+        assert d["inserts"] == inserts and d["removes"] == removes
+
+    def test_plan_is_applicable_from_base_graph(self):
+        """Valid by construction: the flattened plan replays cleanly."""
+        for name in FAMILIES:
+            s = tiny_scenario(name, seed=2)
+            live = set(s.base_edges)
+            for kind, edge in s.plan():
+                if kind == "insert":
+                    assert edge not in live, (name, edge)
+                    live.add(edge)
+                else:
+                    assert edge in live, (name, edge)
+                    live.remove(edge)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+class TestGenerators:
+    def test_registry_lists_all_families(self):
+        assert set(FAMILIES) == {
+            "burst", "sliding-window", "flash-crowd",
+            "relabel-storm", "shard-merge-storm", "mixed",
+        }
+
+    def test_unknown_scenario_names_the_known_ones(self):
+        with pytest.raises(ScenarioError, match="burst"):
+            sc.make_scenario("nope")
+
+    def test_stray_parameter_rejected(self):
+        with pytest.raises(ScenarioError, match="bogus"):
+            sc.make_scenario("burst", bogus=3)
+
+    def test_scenario_params_exposes_knobs(self):
+        assert "burst_size" in sc.scenario_params("burst")
+        assert "window" in sc.scenario_params("sliding-window")
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_same_seed_is_byte_identical(self, name):
+        a = tiny_scenario(name, seed=9)
+        b = tiny_scenario(name, seed=9)
+        assert a == b
+        assert sc.dumps(a) == sc.dumps(b)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_different_seeds_differ(self, name):
+        assert sc.dumps(tiny_scenario(name, seed=1)) != sc.dumps(
+            tiny_scenario(name, seed=2)
+        )
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_params_regenerate_exactly(self, name):
+        """name+seed+params in the header regenerate the same bytes."""
+        s = tiny_scenario(name, seed=5)
+        again = sc.make_scenario(s.name, seed=s.seed, **s.params)
+        assert sc.dumps(again) == sc.dumps(s)
+
+    def test_relabel_storm_stresses_one_level(self):
+        """The adversarial family really is same-level chain growth:
+        the base path plus pendant chains stay a forest, so no core
+        number ever exceeds 1 (retired chains leave core-0 isolates)."""
+        s = tiny_scenario("relabel-storm", seed=0)
+        report = sc.replay(s, keep_cores=True)
+        for cp in report.checkpoints:
+            assert set(cp.cores.values()) <= {0, 1}
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ScenarioError):
+            sc.make_scenario("burst", ticks=0)
+        with pytest.raises(ScenarioError):
+            sc.make_scenario("burst", scale=-1.0)
+        with pytest.raises((ScenarioError, WorkloadError)):
+            sc.make_scenario("mixed", p=1.5)
+
+    def test_interleaved_plan_is_the_source_of_truth(self):
+        from repro.bench.workloads import interleave_removals
+
+        pool = [(0, 1), (1, 2)]
+        ins = [(2, 3), (3, 4), (4, 5), (5, 6)]
+        assert interleave_removals(pool, ins, 0.5, seed=3) == (
+            sc.interleaved_plan(pool, ins, 0.5, seed=3)
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace format
+# ----------------------------------------------------------------------
+
+def random_scenario(seed, *, ops=40, universe=16):
+    """A random-but-valid scenario built through the builder."""
+    rng = random.Random(seed)
+    base = []
+    live = set()
+    for _ in range(universe):
+        u, v = rng.sample(range(universe), 2)
+        e = (min(u, v), max(u, v))
+        if e not in live:
+            live.add(e)
+            base.append(e)
+    b = ScenarioBuilder("random", seed=seed, base_edges=base)
+    staged = 0
+    for _ in range(ops):
+        u, v = rng.sample(range(universe), 2)
+        if rng.random() < 0.4:
+            b.remove(u, v)
+        else:
+            b.insert(u, v)
+        staged += 1
+        if staged % 7 == 0:
+            b.tick()
+    return b.build()
+
+
+class TestTraceFormat:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_round_trip_is_byte_identical(self, name):
+        s = tiny_scenario(name, seed=4)
+        data = sc.dumps(s)
+        loaded = sc.loads(data)
+        assert loaded == s
+        assert sc.dumps(loaded) == data
+
+    def test_record_and_load_paths(self, tmp_path):
+        s = tiny_scenario("burst", seed=4)
+        path = tmp_path / "burst.trace"
+        written = sc.record(s, path)
+        assert written == path.stat().st_size
+        assert sc.load(path) == s
+        info = sc.verify(path)
+        assert info.name == "burst" and info.seed == 4
+        assert info.ticks == s.n_ticks and info.ops == s.n_ops
+        assert info.total_bytes == written
+
+    def test_record_to_file_object(self, tmp_path):
+        s = tiny_scenario("mixed", seed=4)
+        path = tmp_path / "mixed.trace"
+        with open(path, "wb") as handle:
+            sc.record(s, handle)
+        with open(path, "rb") as handle:
+            assert sc.load(handle) == s
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10_000))
+    def test_random_scenarios_round_trip(self, seed):
+        s = random_scenario(seed)
+        data = sc.dumps(s)
+        loaded = sc.loads(data)
+        assert loaded == s
+        assert sc.dumps(loaded) == data
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 1_000),
+        cut=st.integers(1, 200),
+        flip=st.integers(0, 10_000),
+    )
+    def test_damaged_traces_always_raise(self, seed, cut, flip):
+        """Any truncation or single-byte corruption is detected."""
+        data = sc.dumps(random_scenario(seed, ops=20))
+        truncated = data[: len(data) - (cut % (len(data) - 1)) - 1]
+        with pytest.raises(TraceError):
+            sc.loads(truncated)
+        mutated = bytearray(data)
+        pos = flip % len(mutated)
+        mutated[pos] ^= 0x01
+        try:
+            reparsed = sc.loads(bytes(mutated))
+        except TraceError:
+            pass  # detected — the common case
+        else:
+            # A flip inside a JSON payload that still checksums can only
+            # mean the frame was re-framed consistently — impossible for
+            # a single bit flip, so the parse must differ from the
+            # original only if the flip landed in ignorable bytes (none
+            # exist in this format).
+            assert sc.dumps(reparsed) == bytes(mutated)
+
+    def test_truncated_frame_reports_offset(self):
+        data = sc.dumps(tiny_scenario("burst", seed=1))
+        with pytest.raises(TraceError) as info:
+            sc.loads(data[:-10])
+        assert info.value.offset >= 0
+        assert "truncated" in str(info.value)
+        assert "byte offset" in str(info.value)
+
+    def test_frame_boundary_truncation_caught_by_header_counts(self):
+        data = sc.dumps(tiny_scenario("burst", seed=1))
+        cut = data.rfind(b"\n", 0, len(data) - 1) + 1
+        with pytest.raises(TraceError, match="declares"):
+            sc.loads(data[:cut])
+
+    def test_corrupt_frame_reports_offset(self):
+        data = bytearray(sc.dumps(tiny_scenario("burst", seed=1)))
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(TraceError) as info:
+            sc.loads(bytes(data))
+        assert info.value.offset > 0
+
+    def test_wal_file_is_rejected_as_trace(self, tmp_path):
+        from repro.service import CoreService
+
+        log = tmp_path / "wal.log"
+        service = CoreService.open(log=log)
+        service.insert(0, 1)
+        service.close()
+        with pytest.raises(TraceError, match="WAL"):
+            sc.load(log)
+
+    def test_version_skew_rejected(self, monkeypatch):
+        from repro.scenarios import trace as trace_mod
+
+        s = tiny_scenario("burst", seed=1)
+        monkeypatch.setattr(trace_mod, "TRACE_VERSION", 99)
+        data = trace_mod.dumps(s)
+        monkeypatch.undo()
+        with pytest.raises(TraceError, match="version"):
+            sc.loads(data)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            sc.loads(b"")
+
+
+# ----------------------------------------------------------------------
+# Loaders (SNAP + stream adapters) and the reader satellites
+# ----------------------------------------------------------------------
+
+class TestTemporalReader:
+    def write(self, tmp_path, text, name="edges.txt"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_comments_blank_lines_and_gzip(self, tmp_path):
+        text = "# comment\n\n1 2 10\n% other comment\n2 3 20\n"
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(text)
+        stream = read_temporal_edge_list(path, 2)
+        assert list(stream) == [(1, 2, 10.0), (2, 3, 20.0)]
+
+    def test_malformed_endpoint_names_file_and_line(self, tmp_path):
+        path = self.write(tmp_path, "1 2 10\nx 3 20\n")
+        with pytest.raises(EdgeListFormatError) as info:
+            read_temporal_edge_list(path, 2)
+        assert info.value.lineno == 2
+        assert str(path) in str(info.value)
+
+    def test_short_line_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1 2 10\n7\n")
+        with pytest.raises(EdgeListFormatError) as info:
+            read_temporal_edge_list(path, 2)
+        assert info.value.lineno == 2
+
+    def test_bad_timestamp_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1 2 soon\n")
+        with pytest.raises(EdgeListFormatError, match="timestamp"):
+            read_temporal_edge_list(path, 2)
+
+    def test_missing_time_column_falls_back_to_index(self, tmp_path):
+        path = self.write(tmp_path, "1 2\n2 3\n")
+        assert list(read_temporal_edge_list(path, 2)) == [
+            (1, 2, 0.0), (2, 3, 1.0),
+        ]
+
+    def test_strict_rejects_out_of_order(self, tmp_path):
+        path = self.write(tmp_path, "1 2 20\n2 3 10\n")
+        with pytest.raises(EdgeListFormatError, match="out of order"):
+            read_temporal_edge_list(path, 2, strict=True)
+        # default sorts instead
+        stream = read_temporal_edge_list(path, 2)
+        assert [t for _, _, t in stream] == [10.0, 20.0]
+
+    def test_duplicate_policies(self, tmp_path):
+        path = self.write(tmp_path, "1 2 10\n2 3 15\n2 1 30\n")
+        first = read_temporal_edge_list(path, 2, duplicates="first")
+        assert list(first) == [(1, 2, 10.0), (2, 3, 15.0)]
+        last = read_temporal_edge_list(path, 2, duplicates="last")
+        assert list(last) == [(2, 3, 15.0), (1, 2, 30.0)]
+        with pytest.raises(EdgeListFormatError) as info:
+            read_temporal_edge_list(path, 2, duplicates="error")
+        assert info.value.lineno == 3
+
+    def test_unknown_duplicate_policy(self, tmp_path):
+        path = self.write(tmp_path, "1 2 10\n")
+        with pytest.raises(EdgeListFormatError, match="policy"):
+            read_temporal_edge_list(path, 2, duplicates="dedupe")
+
+
+class TestTicksKnobs:
+    def stream(self):
+        return TemporalEdgeStream([
+            (1, 2, 0.0), (2, 3, 1.0), (3, 4, 10.0),
+            (4, 5, 10.0), (5, 6, 20.0),
+        ])
+
+    def test_knobs_are_mutually_exclusive(self):
+        with pytest.raises(WorkloadError, match="at most one"):
+            list(self.stream().ticks(5.0, count=2))
+        with pytest.raises(WorkloadError, match="at most one"):
+            list(self.stream().ticks(every_seconds=5.0, count=2))
+
+    def test_every_seconds_windows_align_to_first_timestamp(self):
+        ticks = list(self.stream().ticks(every_seconds=10.0))
+        assert ticks == [
+            (10.0, [(1, 2), (2, 3)]),
+            (20.0, [(3, 4), (4, 5)]),
+            (30.0, [(5, 6)]),
+        ]
+
+    def test_every_seconds_boundary_edge_opens_no_empty_window(self):
+        """An edge sitting exactly on a window boundary must not leave a
+        trailing empty window behind it."""
+        stream = TemporalEdgeStream([(1, 2, 0.0), (2, 3, 10.0)])
+        ticks = list(stream.ticks(every_seconds=10.0))
+        assert ticks == [(10.0, [(1, 2)]), (20.0, [(2, 3)])]
+        assert all(edges for _, edges in ticks)
+
+    def test_every_seconds_skips_empty_middle_windows(self):
+        stream = TemporalEdgeStream([(1, 2, 0.0), (2, 3, 95.0)])
+        assert list(stream.ticks(every_seconds=10.0)) == [
+            (10.0, [(1, 2)]), (100.0, [(2, 3)]),
+        ]
+
+    def test_every_seconds_empty_stream(self):
+        assert list(TemporalEdgeStream([]).ticks(every_seconds=5.0)) == []
+
+    def test_every_seconds_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            list(self.stream().ticks(every_seconds=0))
+
+    def test_count_groups_are_fixed_size(self):
+        ticks = list(self.stream().ticks(count=2))
+        assert [len(edges) for _, edges in ticks] == [2, 2, 1]
+        assert [t for t, _ in ticks] == [1.0, 10.0, 20.0]
+
+    def test_count_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            list(self.stream().ticks(count=0))
+
+
+class TestLoaders:
+    def test_snap_fixture_loads(self):
+        stream = sc.load_snap_stream(FIXTURE)
+        assert len(stream) > 0
+        times = [t for _, _, t in stream]
+        assert times == sorted(times)
+
+    def test_scenario_from_snap_defaults_name_to_stem(self):
+        s = sc.scenario_from_snap(FIXTURE, count=8)
+        assert s.name == "snap_temporal_sample"
+        assert s.params["source"] == "snap_temporal_sample.txt"
+        assert s.base_edges == []
+        assert s.n_ops == len(sc.load_snap_stream(FIXTURE))
+
+    def test_count_groups_coalesce_equal_stamps(self):
+        stream = TemporalEdgeStream([
+            (0, 1, 5.0), (1, 2, 5.0), (2, 3, 5.0), (3, 4, 6.0),
+        ])
+        s = sc.scenario_from_stream(stream, count=2)
+        # groups stamped 5.0, 5.0(?): coalesced — strictly increasing
+        stamps = [t.t for t in s.ticks]
+        assert stamps == sorted(set(stamps))
+
+    def test_window_expires_and_refreshes(self):
+        stream = TemporalEdgeStream([
+            (0, 1, 0.0), (1, 2, 1.0), (0, 1, 2.0), (2, 3, 5.0),
+        ])
+        s = sc.scenario_from_stream(stream, window=4.0)
+        plan = s.plan()
+        # (1,2) expires at t=5 (due <= t) -> removed in the t=5 tick;
+        # (0,1) was refreshed at t=2 (due 6) so it is still live.
+        assert ("remove", (1, 2)) in plan
+        assert ("remove", (0, 1)) not in plan
+        live = set(s.base_edges)
+        for kind, edge in plan:
+            live.add(edge) if kind == "insert" else live.remove(edge)
+        assert live == {(0, 1), (2, 3)}
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ScenarioError):
+            sc.scenario_from_stream(
+                TemporalEdgeStream([]), window=0.0
+            )
+
+    def test_duplicate_arrivals_skipped_without_window(self):
+        stream = TemporalEdgeStream([
+            (0, 1, 0.0), (1, 0, 1.0), (1, 2, 2.0),
+        ])
+        s = sc.scenario_from_stream(stream)
+        assert s.plan() == [
+            ("insert", (0, 1)), ("insert", (1, 2)),
+        ]
+
+
+class TestTinyFixtures:
+    def test_every_family_has_tiny_params(self):
+        assert set(TINY_PARAMS) == set(FAMILIES)
+
+    def test_tiny_scenarios_are_small(self):
+        for name in FAMILIES:
+            s = tiny_scenario(name)
+            assert 0 < s.n_ops <= 150, (name, s.n_ops)
