@@ -14,9 +14,11 @@ Three replays on the Table II workloads, all asserting core agreement:
 * per-edge insertion (the Table II left half, order family only);
 * per-edge removal (the right half — where the per-edge ``mcd`` refresh
   is the default engine's dominant overhead);
-* a mixed batched stream through ``apply_batch``, where the default
-  engine's batch-native runs amortize their repair, so this is the
-  *hard* regime for the simplified engine to win.
+* a mixed batched stream through ``apply_batch`` — one recorded
+  ``mixed`` scenario replayed tick-for-tick on both engines.  Since the
+  simplified engine gained batch-native runs, both sides amortize their
+  bookkeeping across joint cascades here; this head-to-head decides the
+  registry default (see ROADMAP).
 
 Wall-clock is asserted only as a sanity bound (and only at meaningful
 stream lengths — tiny CI smoke runs record numbers without flaking);
@@ -34,8 +36,9 @@ import pytest
 from _bench_common import BENCH_SCALE, BENCH_SEED, BENCH_UPDATES, once
 
 from repro.bench.runner import build_engine, run_batches, run_updates
-from repro.bench.workloads import make_workload, mixed_batch_workload
+from repro.bench.workloads import make_workload
 from repro.graphs.datasets import load_dataset
+from repro.scenarios import make_scenario
 
 #: Datasets for the ablation (social + citation: the regimes where the
 #: paper's order-based gains are largest).
@@ -201,19 +204,30 @@ def bench_simplified_remove(benchmark, dataset):
 
 
 def bench_simplified_mixed_batches(benchmark):
-    """Mixed batched stream through ``apply_batch`` — the default
-    engine's best case (batch-native runs amortize its repair), so the
-    sanity bound here is the strongest claim the counters must back."""
-    dataset = load_dataset("gowalla", scale=BENCH_SCALE, seed=BENCH_SEED)
-    workload, plan, batches = mixed_batch_workload(
-        dataset, BENCH_UPDATES, batch_size=50, p=0.3, seed=BENCH_SEED
+    """Mixed batched stream through ``apply_batch`` — both engines now
+    run batch-native removal runs, so this head-to-head is what decides
+    the registry default.  The stream is one recorded ``mixed`` scenario
+    (the canonical :func:`repro.scenarios.make_scenario` generator),
+    built once and replayed tick-for-tick on both engines: byte-identical
+    across engines and across runs at the same seed/scale, never
+    re-seeded per engine.
+    """
+    # Size the scenario so the op count tracks BENCH_UPDATES (the mixed
+    # generator's n is 150 * scale, and the plan is ~1.1 ops per vertex).
+    scenario = make_scenario(
+        "mixed",
+        seed=BENCH_SEED,
+        scale=BENCH_UPDATES / 150,
+        tick_ops=50,
+        p=0.3,
     )
+    batches = [tick.batch for tick in scenario.ticks]
 
     def run():
-        order = build_engine("order", workload.base_graph(), seed=BENCH_SEED)
+        order = build_engine("order", scenario.base_graph(), seed=BENCH_SEED)
         order_results = run_batches(order, batches)
         simplified = build_engine(
-            "order-simplified", workload.base_graph(), seed=BENCH_SEED
+            "order-simplified", scenario.base_graph(), seed=BENCH_SEED
         )
         simplified_results = run_batches(simplified, batches)
         assert order.core_numbers() == simplified.core_numbers()
@@ -223,26 +237,26 @@ def bench_simplified_mixed_batches(benchmark):
     order_s = sum(r.seconds for r in order_results)
     simplified_s = sum(r.seconds for r in simplified_results)
     # The counter swap, visible at the BatchResult level.
-    assert all(
-        "candidate_visits" in r.counters
-        and "mcd_recomputations" not in r.counters
-        for r in simplified_results
+    assert not any(
+        "mcd_recomputations" in r.counters for r in simplified_results
     )
-    assert all(
-        "mcd_recomputations" in r.counters for r in order_results
+    assert not any(
+        "candidate_visits" in r.counters for r in order_results
     )
     entry = _record(
-        "mixed_batches[gowalla]",
-        len(plan),
+        "mixed_batches[scenario:mixed]",
+        scenario.n_ops,
         order_s,
         simplified_s,
         {
             "batches": len(batches),
             "mcd_recomputations": sum(
-                r.counters["mcd_recomputations"] for r in order_results
+                r.counters.get("mcd_recomputations", 0)
+                for r in order_results
             ),
             "candidate_visits": sum(
-                r.counters["candidate_visits"] for r in simplified_results
+                r.counters.get("candidate_visits", 0)
+                for r in simplified_results
             ),
         },
     )

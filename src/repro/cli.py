@@ -23,6 +23,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench import experiments, reporting
+from repro.engine.registry import DEFAULT_ENGINE
 from repro.graphs.datasets import dataset_names
 
 
@@ -74,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which table/figure (or utility) to run",
     )
     parser.add_argument(
-        "--engine", default="order", type=_engine_name,
+        "--engine", default=DEFAULT_ENGINE, type=_engine_name,
         help="engine registry name for 'batch'/'validate' "
         "(order, order-om, order-treap, order-large, order-random, "
         "order-sharded, naive, trav-<h>)",

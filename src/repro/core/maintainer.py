@@ -29,9 +29,6 @@ Example
 from __future__ import annotations
 
 import random
-import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.core.decomposition import korder_decomposition
@@ -39,10 +36,9 @@ from repro.core.insertion import order_insert
 from repro.core.korder import DEFAULT_SEQUENCE, KOrder
 from repro.core.removal import RemovalRunResult, order_remove, order_remove_run
 from repro.engine.base import CoreMaintainer, UpdateResult
-from repro.engine.batch import Batch, BatchResult, merge_deltas, net_changes
+from repro.engine.schedule import RunScheduledMaintainer
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
-from repro.testing.faults import inject
 
 Vertex = Hashable
 
@@ -57,7 +53,7 @@ def compute_mcd(
     }
 
 
-class OrderedCoreMaintainer(CoreMaintainer):
+class OrderedCoreMaintainer(RunScheduledMaintainer):
     """Dynamic core maintenance via an explicitly maintained k-order.
 
     Parameters
@@ -97,10 +93,6 @@ class OrderedCoreMaintainer(CoreMaintainer):
     #: the batched path amortizes.  Class-level default so engines
     #: restored from snapshots (which bypass ``__init__``) start at 0 too.
     mcd_recomputations = 0
-
-    #: Scheduler defaults, class-level for the same snapshot reason.
-    _batch_partition = False
-    _batch_parallel: Optional[int] = None
 
     def __init__(
         self,
@@ -175,6 +167,18 @@ class OrderedCoreMaintainer(CoreMaintainer):
         """Maintained max-core degrees (read-only)."""
         return self._mcd
 
+    def mcd_of(self, vertex: Vertex) -> int:
+        """``mcd`` of one vertex — the per-vertex accessor shared with
+        the simplified engine (which derives it instead of storing it)."""
+        return self._mcd[vertex]
+
+    @property
+    def _aux_degrees(self) -> dict[Vertex, int]:
+        """The per-vertex auxiliary degree store the sharded engine
+        merges and splits alongside ``core``/``deg+`` — here the
+        maintained ``mcd`` (the simplified engine's is ``d_in``)."""
+        return self._mcd
+
     @property
     def sequence(self) -> str:
         """The k-order's block backend (``"om"`` or ``"treap"``)."""
@@ -226,145 +230,10 @@ class OrderedCoreMaintainer(CoreMaintainer):
             self.check()
         return UpdateResult("remove", (u, v), k, tuple(v_star), visited)
 
-    def insert_edges_bulk(self, edges: Iterable) -> list[UpdateResult]:
-        """Bulk load: thin wrapper over :meth:`apply_batch`.
-
-        Kept for compatibility with the original insert-only bulk API;
-        equivalent to ``apply_batch(Batch.inserts(edges)).results``.
-        Batch semantics apply: duplicate input edges are dropped rather
-        than raising, and each result's ``edge`` carries the normalized
-        orientation — so zip results with the *deduplicated* batch ops,
-        not the raw input, when inputs may repeat.  Partitioning is
-        pinned off: a bulk load is one logical run, so the partition
-        walk would be pure overhead here.
-        """
-        return self.apply_batch(
-            Batch.inserts(edges), partition=False, parallel=0
-        ).results
-
-    def apply_batch(
-        self,
-        batch: Batch,
-        partition: Optional[bool] = None,
-        parallel: Optional[int] = None,
-    ) -> BatchResult:
-        """Apply a mixed batch, coalescing ``mcd`` repair per run.
-
-        ``OrderInsert`` never reads ``mcd`` (only ``OrderRemoval`` does,
-        to seed its cascade), so a run of consecutive insertions skips
-        the per-update ``mcd`` repair entirely and does *one* targeted
-        repair at the run boundary.  Removal runs are batch-native too:
-        :func:`~repro.core.removal.order_remove_run` removes the whole
-        run's edges up front, cascades once per affected ``K``-level,
-        and keeps ``mcd`` incrementally exact, so the per-edge
-        ``_refresh_mcd`` pass disappears from the hot path.
-        :meth:`Batch.runs` reorders conflict-free batches into one
-        removal run followed by one insertion run, so a long mixed batch
-        pays one coalesced repair per side.
-
-        Scheduling: with ``partition`` (per-call override of the engine
-        default) the batch is first split into independent regions by
-        :meth:`~repro.engine.batch.Batch.partition` and the regions are
-        applied one by one — correct under any region order because core
-        numbers are a function of the final graph and every region
-        application restores the full index invariants.  ``parallel``
-        (worker count; implies partitioning unless ``partition=False``
-        is passed explicitly) applies regions from a
-        thread pool; the k-order blocks are shared across regions, so
-        each worker holds an engine-wide region lock while it applies —
-        in CPython this (like the GIL) serializes index mutation, making
-        ``parallel=`` a scheduling seam and an agreement harness for
-        region scheduling rather than a wall-clock win today.  True
-        parallelism needs per-region engine state (see ROADMAP).
-
-        ``BatchResult.results`` keeps per-op detail only for batches
-        without removals: removal runs are fully coalesced, so per-edge
-        attribution no longer exists (``changed``/``visited`` stay
-        exact, aggregated at run level).  When results are kept they are
-        restored to the batch's op order even under a partitioned
-        schedule, so zipping them with the batch's ops stays valid.
-        ``BatchResult.counters`` always reports the schedule's
-        ``regions`` and ``region_max_size``.
-        """
-        started = time.perf_counter()
-        baseline = self._batch_counters()
-        if parallel is None:
-            parallel = self._batch_parallel
-        if partition is None:
-            # parallel implies partitioning — but an explicit
-            # partition=False wins (the pool then sees one region and
-            # degrades to the sequential path).
-            partition = self._batch_partition or bool(parallel)
-        if partition and len(batch) > 1:
-            regions = batch.partition(self._graph, core=self._core)
-        else:
-            regions = [batch] if batch else []
-        if parallel and len(regions) > 1:
-            lock = threading.Lock()
-            with ThreadPoolExecutor(max_workers=parallel) as pool:
-                outcomes = list(
-                    pool.map(lambda r: self._apply_region(r, lock), regions)
-                )
-        else:
-            outcomes = [self._apply_region(region) for region in regions]
-
-        inserts = removes = visited = 0
-        results: Optional[list[UpdateResult]] = []
-        changed: dict[Vertex, int] = {}
-        for region_results, removal_runs, n_ins, n_rem in outcomes:
-            inserts += n_ins
-            removes += n_rem
-            visited += sum(r.visited for r in region_results)
-            if removal_runs:
-                results = None
-            if results is not None:
-                results.extend(region_results)
-            merge_deltas(changed, net_changes(region_results).items())
-            for run in removal_runs:
-                visited += run.visited
-                merge_deltas(changed, run.changed.items())
-        if results is not None and len(regions) > 1:
-            # Results are kept only for removal-free batches, whose
-            # deduplicated ops have unique edges: restore batch op order
-            # so the documented zip-with-ops contract survives regions.
-            positions = {op.edge: i for i, op in enumerate(batch)}
-            results.sort(key=lambda r: positions[r.edge])
-        counters = self._counter_deltas(baseline)
-        counters["regions"] = len(regions)
-        counters["region_max_size"] = max(
-            (len(region) for region in regions), default=0
-        )
-        return BatchResult(
-            engine=self.name,
-            inserts=inserts,
-            removes=removes,
-            changed=changed,
-            visited=visited,
-            seconds=time.perf_counter() - started,
-            results=results,
-            counters=counters,
-        )
-
-    def _apply_region(
-        self, region: Batch, lock: Optional[threading.Lock] = None
-    ) -> tuple[list[UpdateResult], list[RemovalRunResult], int, int]:
-        """Apply one region's runs; returns per-op insert results, the
-        coalesced removal-run results, and the op counts."""
-        if lock is not None:
-            with lock:
-                return self._apply_region(region)
-        results: list[UpdateResult] = []
-        removal_runs: list[RemovalRunResult] = []
-        inserts = removes = 0
-        for kind, run_edges in region.runs():
-            inject("engine.mid_batch")
-            if kind == "insert":
-                results.extend(self._insert_run(run_edges))
-                inserts += len(run_edges)
-            else:
-                removal_runs.append(self._remove_run(run_edges))
-                removes += len(run_edges)
-        return results, removal_runs, inserts, removes
+    # The batch pipeline (``apply_batch`` / ``insert_edges_bulk`` and the
+    # region scheduler) is inherited from
+    # :class:`~repro.engine.schedule.RunScheduledMaintainer`; this class
+    # contributes the ``mcd``-maintaining run commits below.
 
     def _batch_counters(self) -> dict[str, int]:
         """Cumulative instrumentation (sequence stats + ``mcd`` repairs)."""

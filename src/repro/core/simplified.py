@@ -59,12 +59,15 @@ from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.core.decomposition import korder_decomposition
 from repro.core.korder import DEFAULT_SEQUENCE, KOrder
+from repro.core.removal import RemovalRunResult
 from repro.engine.base import CoreMaintainer, UpdateResult
+from repro.engine.schedule import RunScheduledMaintainer
 from repro.errors import InvariantViolationError
 from repro.graphs.undirected import DynamicGraph
 from repro.structures.heaps import LazyMinHeap
 
 Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
 
 _VC = 1  # currently a candidate for V*
 _SETTLED = 2  # definitively not in V*
@@ -366,7 +369,128 @@ def _repair_level(
         korder.append(K - 1, w)
 
 
-class SimplifiedCoreMaintainer(CoreMaintainer):
+def simplified_remove_run(
+    graph: DynamicGraph,
+    korder: KOrder,
+    core: dict[Vertex, int],
+    d_in: dict[Vertex, int],
+    edges: Iterable[Edge],
+) -> RemovalRunResult:
+    """Remove a whole run of ``edges`` and repair ``core``, ``korder``
+    and both order-local degrees — the batch-native counterpart of
+    :func:`simplified_remove`, mirroring
+    :func:`repro.core.removal.order_remove_run` on the ``d_in``/``d_out``
+    bookkeeping.
+
+    All edges leave the graph up front: each departing edge costs the
+    O(1) orientation-based decrements of the per-edge path (the earlier
+    endpoint loses a successor; the later one loses a same-block
+    predecessor when the blocks coincide), and any endpoint whose
+    ``d_in + d_out`` bound — its ``mcd``, by the module invariant —
+    fell below its core number seeds the joint cascade of its level.
+    Then one joint ``V*`` cascade runs per affected ``K``-level, highest
+    level first, with every sub-threshold root of the level queued at
+    once, so overlapping neighborhoods are walked once per run instead
+    of once per edge.
+
+    Where :func:`~repro.core.removal.order_remove_run` must keep ``mcd``
+    incrementally exact inside the cascade (decrement the stayers,
+    recompute each mover), here that whole step collapses into state the
+    engine already maintains: the cascade bounds candidates with a
+    scan-local ``cd`` materialized from ``d_in + d_out``, and the
+    level's single :func:`_repair_level` pass repairs both degrees for
+    stayers and movers alike — after it, a mover's ``d_in + d_out`` *is*
+    its ``mcd`` at ``K - 1``, which is exactly the bound the next-lower
+    level's re-seed check needs (batches may sink a vertex through
+    several levels).  ``recomputed`` therefore stays 0: the simplified
+    run has no ``mcd`` passes to charge, only the candidate scan
+    (``visited``).
+
+    If an edge is invalid (absent from the graph), the run raises after
+    first completing the cascades for the edges that did land, so the
+    index stays fully consistent with the partially-updated graph.
+    """
+    d_out = korder.deg_plus
+    # Endpoints whose bound dropped, keyed by their (stable until their
+    # level is processed) core number: the joint-cascade seed sets.
+    pending: dict[int, set[Vertex]] = {}
+    result = RemovalRunResult()
+    levels: list[int] = []
+    try:
+        for u, v in edges:
+            graph.remove_edge(u, v)  # validates before any index mutation
+            cu, cv = core[u], core[v]
+            # No reorder happens during this phase, so all order tests
+            # are against one stable k-order.
+            if cu < cv or (cu == cv and korder.precedes(u, v)):
+                d_out[u] -= 1
+                if cu == cv:
+                    d_in[v] -= 1
+            else:
+                d_out[v] -= 1
+                if cu == cv:
+                    d_in[u] -= 1
+            # Seed any endpoint that fell below its level; d_in + d_out
+            # plays the role of Algorithm 4's early mcd decrements.
+            if cu <= cv and d_in[u] + d_out[u] < cu:
+                pending.setdefault(cu, set()).add(u)
+            if cv <= cu and d_in[v] + d_out[v] < cv:
+                pending.setdefault(cv, set()).add(v)
+            result.removed += 1
+    finally:
+        # Runs even when an edge op raises, so the removals that did land
+        # leave core/korder/degrees consistent before the error
+        # propagates.
+        changed = result.changed
+        while pending:
+            K = max(pending)
+            seeds = pending.pop(K)
+            # One joint V* cascade for the whole level: every
+            # sub-threshold root enters the queue at once.  cd is
+            # scan-local — permanent degree repair is _repair_level's.
+            cd: dict[Vertex, int] = {}
+            queued: set[Vertex] = set()
+            stack: list[Vertex] = []
+            for w in seeds:
+                if core[w] != K:  # re-seeded at a lower level meanwhile
+                    continue
+                cd[w] = d_in[w] + d_out[w]
+                if cd[w] < K:
+                    stack.append(w)
+                    queued.add(w)
+            disposed: list[Vertex] = []
+            while stack:
+                w = stack.pop()
+                disposed.append(w)
+                core[w] = K - 1
+                changed[w] = changed.get(w, 0) - 1
+                for z in graph.adj[w]:
+                    if core.get(z) != K:
+                        continue
+                    bound = cd.get(z)
+                    if bound is None:
+                        bound = d_in[z] + d_out[z]
+                    bound -= 1
+                    cd[z] = bound
+                    if bound < K and z not in queued:
+                        stack.append(z)
+                        queued.add(z)
+            result.visited += len(cd)
+            if not disposed:
+                continue
+            levels.append(K)
+            # Repair the k-order — and both degrees — once for the level.
+            _repair_level(graph, korder, core, d_in, K, disposed)
+            # Demotions may leave vertices sub-threshold at K-1 too —
+            # batches can sink a vertex through several levels.
+            lower = {w for w in disposed if d_in[w] + d_out[w] < K - 1}
+            if lower:
+                pending.setdefault(K - 1, set()).update(lower)
+        result.levels = tuple(levels)
+    return result
+
+
+class SimplifiedCoreMaintainer(RunScheduledMaintainer):
     """Guo–Sekerinski simplified order-based core maintenance.
 
     Drop-in alternative to
@@ -377,11 +501,17 @@ class SimplifiedCoreMaintainer(CoreMaintainer):
     cascades.  Created as ``make_engine("order-simplified")`` (aliases
     ``order-simplified-{small,large,random,om,treap}``).
 
-    Parameters match the default order engine minus the batch-scheduler
-    options (there is no per-run repair to coalesce, so batches replay
-    per edge with nothing deferred): ``policy`` picks the Section VI
-    generation heuristic, ``sequence`` the block backend, ``audit``
-    re-checks every invariant after each update (tests only).
+    Parameters match the default order engine's, batch-scheduler options
+    included: ``policy`` picks the Section VI generation heuristic,
+    ``sequence`` the block backend, ``audit`` re-checks every invariant
+    after each update (tests only), and ``partition`` / ``parallel``
+    set the :meth:`apply_batch` region-schedule defaults (see
+    :class:`~repro.engine.schedule.RunScheduledMaintainer`).  Batches
+    commit run-natively: removal runs go through
+    :func:`simplified_remove_run` (one joint cascade per affected
+    level), insertion runs through one coalesced loop with a single
+    boundary audit — the simplified insert leaves nothing deferred, so
+    the run is the per-edge scan minus per-edge overheads.
     """
 
     name = "order-simplified"
@@ -398,6 +528,8 @@ class SimplifiedCoreMaintainer(CoreMaintainer):
         seed: Optional[int] = 0,
         audit: bool = False,
         sequence: str = DEFAULT_SEQUENCE,
+        partition: bool = False,
+        parallel: Optional[int] = None,
     ) -> None:
         super().__init__(graph)
         self._audit = audit
@@ -409,6 +541,8 @@ class SimplifiedCoreMaintainer(CoreMaintainer):
         )
         self._d_in = compute_d_in(graph, self._core, decomposition.order)
         self.candidate_visits = 0
+        self._batch_partition = bool(partition)
+        self._batch_parallel = parallel if parallel else None
 
     @classmethod
     def from_index_state(
@@ -473,6 +607,21 @@ class SimplifiedCoreMaintainer(CoreMaintainer):
         d_in, d_out = self._d_in, self.korder.deg_plus
         return {v: d_in[v] + d_out[v] for v in d_in}
 
+    def mcd_of(self, vertex: Vertex) -> int:
+        """``mcd`` of one vertex, derived O(1) as ``d_in + d_out`` —
+        per-vertex readers (the sharded engine's union view) must use
+        this instead of :attr:`mcd`, which builds the whole dict."""
+        return self._d_in[vertex] + self.korder.deg_plus[vertex]
+
+    @property
+    def _aux_degrees(self) -> dict[Vertex, int]:
+        """The per-vertex auxiliary degree store the sharded engine
+        merges and splits alongside ``core``/``deg+`` — here ``d_in``
+        (the default engine's counterpart is ``mcd``).  Valid to move
+        between disjoint components untouched: absorbed blocks land
+        behind the survivor's, so no same-block predecessor changes."""
+        return self._d_in
+
     @property
     def sequence(self) -> str:
         """The k-order's block backend (``"om"`` or ``"treap"``)."""
@@ -527,6 +676,57 @@ class SimplifiedCoreMaintainer(CoreMaintainer):
         if self._audit:
             self.check()
         return UpdateResult("remove", (u, v), k, tuple(v_star), visited)
+
+    # ------------------------------------------------------------------
+    # Run commits (the RunScheduledMaintainer hooks)
+    # ------------------------------------------------------------------
+
+    def _insert_run(self, edges) -> list[UpdateResult]:
+        """Insert a run of edges with one boundary audit.
+
+        The simplified insert repairs both order-local degrees inside
+        its own scan — unlike the default engine there is no ``mcd``
+        boundary repair to coalesce — so the run is a plain loop over
+        :func:`simplified_insert`, paying per-edge dispatch and (under
+        ``audit=True``) the full-index audit once per run instead of
+        once per edge.
+        """
+        graph, core, d_in = self._graph, self._core, self._d_in
+        results = []
+        for u, v in edges:
+            for endpoint in (u, v):
+                if not graph.has_vertex(endpoint):
+                    graph.add_vertex(endpoint)
+                    self._register_vertex(endpoint)
+            v_star, k, visited, evicted = simplified_insert(
+                graph, self.korder, core, d_in, u, v
+            )
+            self.candidate_visits += visited
+            results.append(
+                UpdateResult(
+                    "insert", (u, v), k, tuple(v_star), visited, evicted
+                )
+            )
+        if self._audit:
+            self.check()
+        return results
+
+    def _remove_run(self, edges) -> RemovalRunResult:
+        """Remove a run of edges through the batch-native joint cascade.
+
+        Both degrees are maintained inside
+        :func:`simplified_remove_run`, so the run's chargeable work is
+        the candidate scan alone (``visited``, folded into
+        ``candidate_visits``); ``recomputed`` is structurally 0 — the
+        simplified engine has no ``mcd`` passes to count.
+        """
+        run = simplified_remove_run(
+            self._graph, self.korder, self._core, self._d_in, edges
+        )
+        self.candidate_visits += run.visited
+        if self._audit:
+            self.check()
+        return run
 
     # ------------------------------------------------------------------
     # Internals

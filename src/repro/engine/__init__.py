@@ -32,6 +32,7 @@ from repro.engine.batch import (
     vertex_sort_key,
 )
 from repro.engine.registry import (
+    DEFAULT_ENGINE,
     available_engines,
     engine_options,
     is_engine_name,
@@ -44,6 +45,7 @@ __all__ = [
     "BatchOp",
     "BatchResult",
     "CoreMaintainer",
+    "DEFAULT_ENGINE",
     "UpdateResult",
     "available_engines",
     "engine_options",

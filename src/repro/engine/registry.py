@@ -22,11 +22,15 @@ Names
     The Guo–Sekerinski simplified order-based engine
     (:class:`~repro.core.simplified.SimplifiedCoreMaintainer`): same
     k-order index, but two order-local degrees replace the maintained
-    ``mcd`` so no repair pass runs after updates.  Carries the same
+    ``mcd`` so no repair pass runs after updates.  This is
+    :data:`DEFAULT_ENGINE` — what consumers get when they do not pick
+    an engine — per the PR-10 ablation.  Carries the same
     policy/backend alias block as ``order``
     (``order-simplified-{small,large,random,om,treap}``) and the same
-    ``sequence`` / ``policy`` options — but not the batch-scheduler
-    options (it has no per-run repair to coalesce).
+    ``sequence`` / ``policy`` options, *and* — since it gained
+    batch-native runs (one joint removal cascade per affected level on
+    the ``d_in + d_out`` bound) — the same ``partition`` / ``parallel``
+    batch-scheduler options.
 ``order-sharded``
     The sharded order engine
     (:class:`~repro.engine.sharded.ShardedOrderEngine`): one order
@@ -34,7 +38,10 @@ Names
     commits independent batch regions from a thread pool with **no**
     engine-wide lock.  Accepts the order family's ``sequence`` /
     ``policy`` options plus ``reshard="off" | "batch"`` (targeted
-    re-shard of disconnected shards after removal batches).
+    re-shard of disconnected shards after removal batches) and
+    ``engine="order" | "order-simplified"`` to pick the sub-engine
+    family; ``order-sharded-simplified`` pins the simplified family by
+    name.
 ``trav-<h>``
     The traversal baseline with hop count ``h >= 2`` (``trav`` alone means
     ``trav-2``); any ``h`` is accepted, not just the pre-listed ones.
@@ -56,6 +63,15 @@ from repro.errors import EngineOptionError
 from repro.graphs.undirected import DynamicGraph
 
 EngineFactory = Callable[..., CoreMaintainer]
+
+#: The engine consumers get when they do not pick one (CoreService,
+#: the streaming monitor, the server, scenario replay, the CLI).  Set to
+#: the simplified order engine by the PR-10 ablation: with batch-native
+#: runs on both sides it ties the mixed-batched regime (1.03x median,
+#: within noise) and wins every per-edge regime (insert 1.1-1.4x,
+#: remove 1.6-2.1x) while maintaining strictly less state (no ``mcd``,
+#: no repair pass).  See ROADMAP.md and BENCH_simplified_ablation.json.
+DEFAULT_ENGINE = "order-simplified"
 
 _REGISTRY: Dict[str, EngineFactory] = {}
 _TRAV_PATTERN = re.compile(r"^trav-(\d+)$")
@@ -209,21 +225,24 @@ def _make_order(policy: str, sequence: str = None):
 
 
 def _make_simplified(policy: str, sequence: str = None):
-    # Same deferred-default contract as _make_order; no partition/parallel
-    # knobs — the simplified engine has no run-boundary repair for a
-    # region schedule to amortize.
+    # Same deferred-default contract — and the same batch-scheduler
+    # knobs — as _make_order: since the simplified engine gained
+    # batch-native runs, partition/parallel schedule them identically.
     def factory(
         graph: DynamicGraph,
         seed=0,
         audit: bool = False,
         policy: str = policy,
         sequence: str = sequence,
+        partition: bool = False,
+        parallel=None,
     ):
         from repro.core.simplified import SimplifiedCoreMaintainer
 
         opts = {} if sequence is None else {"sequence": sequence}
         return SimplifiedCoreMaintainer(
-            graph, policy=policy, seed=seed, audit=audit, **opts
+            graph, policy=policy, seed=seed, audit=audit,
+            partition=partition, parallel=parallel, **opts
         )
 
     return factory
@@ -238,13 +257,33 @@ def _make_sharded(
     parallel=None,
     reshard: str = "off",
     partition: bool = True,
+    engine: str = "order",
 ):
     from repro.engine.sharded import ShardedOrderEngine
 
     opts = {} if sequence is None else {"sequence": sequence}
     return ShardedOrderEngine(
         graph, policy=policy, seed=seed, audit=audit, parallel=parallel,
-        reshard=reshard, partition=partition, **opts
+        reshard=reshard, partition=partition, engine=engine, **opts
+    )
+
+
+def _make_sharded_simplified(
+    graph: DynamicGraph,
+    seed=0,
+    audit: bool = False,
+    policy: str = "small",
+    sequence: str = None,
+    parallel=None,
+    reshard: str = "off",
+    partition: bool = True,
+):
+    # The sub-engine family is what the name pins, so it is not an
+    # option here — engine= on this alias is a loud EngineOptionError.
+    return _make_sharded(
+        graph, seed=seed, audit=audit, policy=policy, sequence=sequence,
+        parallel=parallel, reshard=reshard, partition=partition,
+        engine="order-simplified",
     )
 
 
@@ -276,6 +315,7 @@ def _register_order_family(base: str, maker) -> None:
 _register_order_family("order", _make_order)
 _register_order_family("order-simplified", _make_simplified)
 register_engine("order-sharded", _make_sharded)
+register_engine("order-sharded-simplified", _make_sharded_simplified)
 def _make_traversal_at(h: int):
     def factory(graph: DynamicGraph, seed=None, audit: bool = False):
         return _make_traversal(graph, h=h, seed=seed, audit=audit)

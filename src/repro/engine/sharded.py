@@ -69,6 +69,7 @@ from typing import Hashable, Iterator, Mapping, Optional
 
 from repro.core.korder import DEFAULT_SEQUENCE
 from repro.core.maintainer import OrderedCoreMaintainer
+from repro.core.simplified import SimplifiedCoreMaintainer
 from repro.engine.base import CoreMaintainer, UpdateResult
 from repro.engine.batch import Batch, BatchOp, BatchResult, merge_deltas
 from repro.errors import (
@@ -98,7 +99,19 @@ _COUNTER_KEYS = (
     "relabels",
     "rank_walk_steps",
     "mcd_recomputations",
+    "candidate_visits",
 )
+
+#: Sub-engine families a shard may run (the ``engine=`` option): the
+#: default ``mcd``-maintaining order engine or the Guo-Sekerinski
+#: simplified engine.  Both expose the seams sharding needs —
+#: ``from_index_state``, ``mcd_of`` and the ``_aux_degrees`` store that
+#: merges/splits alongside ``core``/``deg+`` (``mcd`` for the default
+#: engine, ``d_in`` for the simplified one).
+SUB_ENGINES = {
+    "order": OrderedCoreMaintainer,
+    "order-simplified": SimplifiedCoreMaintainer,
+}
 
 
 def _component_lists(adj, ordered_vertices) -> list[list[Vertex]]:
@@ -170,7 +183,9 @@ class _ShardedMcd(Mapping):
 
     def __getitem__(self, vertex: Vertex) -> int:
         owner = self._owner
-        return owner._shards[owner._shard_of[vertex]].mcd[vertex]
+        # mcd_of, not .mcd[...]: simplified shards derive the whole mcd
+        # dict per property access, but answer one vertex in O(1).
+        return owner._shards[owner._shard_of[vertex]].mcd_of(vertex)
 
     def __iter__(self) -> Iterator[Vertex]:
         return iter(self._owner._shard_of)
@@ -206,6 +221,14 @@ class ShardedOrderEngine(CoreMaintainer):
     partition:
         Accepted for CLI/option symmetry with the plain order engine
         and ignored: the sharded engine always partitions by shard.
+    engine:
+        Sub-engine family each shard runs: ``"order"`` (default) or
+        ``"order-simplified"`` (registered as
+        ``make_engine("order-sharded-simplified")``).  Shards then
+        commit their sub-batches through that family's run-native
+        ``apply_batch``, and the engine reports its counters —
+        ``mcd_recomputations`` for the default family,
+        ``candidate_visits`` for the simplified one.
 
     >>> from repro.graphs.undirected import DynamicGraph
     >>> engine = ShardedOrderEngine(
@@ -232,20 +255,29 @@ class ShardedOrderEngine(CoreMaintainer):
         parallel: Optional[int] = None,
         reshard: str = "off",
         partition: bool = True,
+        engine: str = "order",
     ) -> None:
         if reshard not in RESHARD_POLICIES:
             raise ValueError(
                 f"unknown reshard policy {reshard!r}; "
                 f"choose from {', '.join(RESHARD_POLICIES)}"
             )
+        if engine not in SUB_ENGINES:
+            raise ValueError(
+                f"unknown sub-engine {engine!r}; "
+                f"choose from {', '.join(sorted(SUB_ENGINES))}"
+            )
         super().__init__(graph)
+        self._sub_cls = SUB_ENGINES[engine]
+        if engine != "order":
+            self.name = "order-sharded-" + engine.removeprefix("order-")
         self._policy = policy
         self._seed = seed
         self._audit = audit
         self._sequence = sequence
         self._parallel = parallel if parallel else None
         self._reshard_policy = reshard
-        self._shards: dict[int, OrderedCoreMaintainer] = {}
+        self._shards: dict[int, CoreMaintainer] = {}
         self._shard_of: dict[Vertex, int] = {}
         self._next_sid = itertools.count(1)
         #: Cumulative protocol counters.
@@ -281,7 +313,7 @@ class ShardedOrderEngine(CoreMaintainer):
 
     def _new_shard(self, subgraph: DynamicGraph) -> int:
         sid = next(self._next_sid)
-        engine = OrderedCoreMaintainer(
+        engine = self._sub_cls(
             subgraph,
             policy=self._policy,
             seed=self._seed,
@@ -293,7 +325,7 @@ class ShardedOrderEngine(CoreMaintainer):
             self._shard_of[vertex] = sid
         return sid
 
-    def _adopt_shard(self, engine: OrderedCoreMaintainer) -> int:
+    def _adopt_shard(self, engine) -> int:
         sid = next(self._next_sid)
         self._shards[sid] = engine
         for vertex in engine.graph.vertices():
@@ -324,7 +356,7 @@ class ShardedOrderEngine(CoreMaintainer):
         return len(self._shards)
 
     @property
-    def shards(self) -> tuple[OrderedCoreMaintainer, ...]:
+    def shards(self) -> tuple[CoreMaintainer, ...]:
         """The live sub-engines (read-only; for tests and diagnostics)."""
         return tuple(self._shards.values())
 
@@ -335,9 +367,21 @@ class ShardedOrderEngine(CoreMaintainer):
     @property
     def mcd_recomputations(self) -> int:
         """Per-vertex ``mcd`` recomputations summed across all shards,
-        including shards since merged or split away."""
+        including shards since merged or split away (0 under simplified
+        sub-engines, which have no ``mcd`` concept)."""
         return self._retired["mcd_recomputations"] + sum(
-            shard.mcd_recomputations for shard in self._shards.values()
+            getattr(shard, "mcd_recomputations", 0)
+            for shard in self._shards.values()
+        )
+
+    @property
+    def candidate_visits(self) -> int:
+        """Candidate-scan visits summed across all shards (the
+        simplified family's chargeable unit; 0 under default
+        sub-engines), including shards since merged or split away."""
+        return self._retired["candidate_visits"] + sum(
+            getattr(shard, "candidate_visits", 0)
+            for shard in self._shards.values()
         )
 
     @property
@@ -455,7 +499,10 @@ class ShardedOrderEngine(CoreMaintainer):
         for u, v in small.graph.edges():
             big_graph.add_edge(u, v)
         big._core.update(small._core)
-        big._mcd.update(small.mcd)
+        # The family's auxiliary degrees (mcd or d_in) move untouched:
+        # disjoint components share no edges, and absorbed blocks land
+        # behind the survivor's, so no same-block predecessor changes.
+        big._aux_degrees.update(small._aux_degrees)
         big_korder = big.korder
         small_korder = small.korder
         # Per level, append the absorbed block behind the survivor's:
@@ -469,13 +516,16 @@ class ShardedOrderEngine(CoreMaintainer):
         self.shard_merges += 1
         return sa
 
-    def _retire_counters(self, engine: OrderedCoreMaintainer) -> None:
+    def _retire_counters(self, engine) -> None:
         stats = engine.korder.stats
         retired = self._retired
         retired["order_queries"] += stats.order_queries
         retired["relabels"] += stats.relabels
         retired["rank_walk_steps"] += stats.rank_walk_steps
-        retired["mcd_recomputations"] += engine.mcd_recomputations
+        retired["mcd_recomputations"] += getattr(
+            engine, "mcd_recomputations", 0
+        )
+        retired["candidate_visits"] += getattr(engine, "candidate_visits", 0)
 
     def _forget_vertex(self, vertex: Vertex) -> None:
         sid = self._shard_of.pop(vertex, None)
@@ -519,7 +569,7 @@ class ShardedOrderEngine(CoreMaintainer):
         components = _component_lists(graph.adj, shard.order())
         if len(components) <= 1:
             return 0
-        core, mcd = shard._core, shard._mcd
+        core, aux = shard._core, shard._aux_degrees
         deg_plus = shard.korder.deg_plus
         self._retire_counters(shard)
         del self._shards[sid]
@@ -529,12 +579,12 @@ class ShardedOrderEngine(CoreMaintainer):
                 for w in graph.adj[u]:
                     if not sub.has_edge(u, w):
                         sub.add_edge(u, w)
-            engine = OrderedCoreMaintainer.from_index_state(
+            engine = self._sub_cls.from_index_state(
                 sub,
                 comp_order,
                 {v: core[v] for v in comp_order},
                 {v: deg_plus[v] for v in comp_order},
-                {v: mcd[v] for v in comp_order},
+                {v: aux[v] for v in comp_order},
                 sequence=self._sequence,
                 seed=self._seed,
             )
@@ -756,7 +806,7 @@ class ShardedOrderEngine(CoreMaintainer):
     def _require_open(self) -> None:
         if self._closed:
             raise ServiceError(
-                "engine 'order-sharded' is closed; reads still answer, "
+                f"engine {self.name!r} is closed; reads still answer, "
                 "but updates need a live engine"
             )
 
@@ -788,7 +838,12 @@ class ShardedOrderEngine(CoreMaintainer):
             counters["order_queries"] += stats.order_queries
             counters["relabels"] += stats.relabels
             counters["rank_walk_steps"] += stats.rank_walk_steps
-            counters["mcd_recomputations"] += shard.mcd_recomputations
+            counters["mcd_recomputations"] += getattr(
+                shard, "mcd_recomputations", 0
+            )
+            counters["candidate_visits"] += getattr(
+                shard, "candidate_visits", 0
+            )
         counters["shard_merges"] = self.shard_merges
         counters["shard_splits"] = self.shard_splits
         counters["cross_region_ops"] = self.cross_region_ops

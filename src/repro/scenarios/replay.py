@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Sequence
 
+from repro.engine.registry import DEFAULT_ENGINE
 from repro.errors import ScenarioError
 from repro.scenarios.base import Scenario
 from repro.service import CoreService
@@ -102,7 +103,7 @@ class ReplayReport:
 def replay(
     scenario: Scenario,
     *,
-    engine: str = "order",
+    engine: str = DEFAULT_ENGINE,
     seed: Optional[int] = 0,
     service: Optional[CoreService] = None,
     keep_cores: bool = False,

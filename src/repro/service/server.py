@@ -75,6 +75,7 @@ from typing import Optional
 
 from repro.analysis import kcore_views
 from repro.engine.batch import Batch, vertex_sort_key
+from repro.engine.registry import DEFAULT_ENGINE
 from repro.errors import BatchError, ReproError, ServiceError
 from repro.service import protocol
 from repro.service.replica import LogReplica
@@ -623,7 +624,7 @@ class CoreServer:
     def __init__(
         self,
         *,
-        engine: str = "order",
+        engine: str = DEFAULT_ENGINE,
         engine_opts: Optional[dict] = None,
         seed: Optional[int] = 0,
         log_dir=None,

@@ -33,7 +33,7 @@ from typing import Hashable, Iterable, NamedTuple, Optional, Union
 from repro.analysis import kcore_views
 from repro.engine.base import CoreMaintainer
 from repro.engine.batch import Batch
-from repro.engine.registry import make_engine
+from repro.engine.registry import DEFAULT_ENGINE, make_engine
 from repro.errors import LogCorruptionError, ReproError, ServiceError
 from repro.graphs.undirected import DynamicGraph
 from repro.service.events import EventCallback, Subscription
@@ -106,7 +106,7 @@ class CoreService:
         cls,
         graph: Union[DynamicGraph, Iterable[Edge], None] = None,
         *,
-        engine: str = "order",
+        engine: str = DEFAULT_ENGINE,
         seed: Optional[int] = 0,
         log=None,
         fsync: str = "always",

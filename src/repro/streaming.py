@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Optional
 
 from repro.engine.base import CoreMaintainer
+from repro.engine.registry import DEFAULT_ENGINE
 from repro.engine.batch import Batch, normalize_edge
 from repro.errors import WorkloadError
 from repro.service import CoreEvent, CoreService
@@ -66,7 +67,8 @@ class SlidingWindowCoreMonitor:
     seed:
         Seed for engines that use randomness (ignored by the rest).
     engine:
-        Registry name of the maintenance engine (default ``"order"``);
+        Registry name of the maintenance engine (default
+        :data:`~repro.engine.registry.DEFAULT_ENGINE`);
         any extra keyword arguments are passed to the engine factory.
     service:
         An already-open :class:`~repro.service.CoreService` to drive
@@ -84,7 +86,7 @@ class SlidingWindowCoreMonitor:
         self,
         window: float,
         seed: Optional[int] = 0,
-        engine: str = "order",
+        engine: str = DEFAULT_ENGINE,
         service: Optional[CoreService] = None,
         **engine_opts,
     ) -> None:
@@ -93,7 +95,7 @@ class SlidingWindowCoreMonitor:
         self.window = window
         if service is None:
             service = CoreService.open(engine=engine, seed=seed, **engine_opts)
-        elif engine != "order" or seed != 0 or engine_opts:
+        elif engine != DEFAULT_ENGINE or seed != 0 or engine_opts:
             # An adopted service already has its engine; silently
             # ignoring configuration here would be exactly the option
             # swallowing make_engine refuses.

@@ -13,64 +13,23 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from engine_contract import mixed_batch_stream, representative_engines
 from repro.core.decomposition import core_numbers
 from repro.engine import Batch, make_engine
 from repro.graphs.undirected import DynamicGraph
 
-# "order" is the OM-list-backed engine (the default); "order-treap" runs
-# the same algorithm over the treap sequence backend, so the whole
-# agreement suite covers both.  "order-sharded" applies every batch
-# through per-component sub-engines (merge/split protocol included);
-# "order-simplified"/"-treap" is the Guo–Sekerinski no-mcd variant on
-# both backends.
-ENGINES = (
-    "order", "order-treap", "order-sharded",
-    "order-simplified", "order-simplified-treap",
-    "trav-2", "naive",
-)
+# One engine per distinct maintenance code path, straight from the
+# conformance contract — a newly registered engine family joins this
+# agreement suite with no edit here.
+ENGINES = representative_engines()
 
 
 def random_batch_stream(seed, n_batches=6, batch_size=25, universe=60):
-    """Generate a base graph and a stream of valid mixed batches.
-
-    Vertices are drawn from a growing universe so later batches routinely
-    touch vertices no engine has seen yet; removals always target a
-    currently-present edge, inserts a currently-absent one (tracked
-    against the evolving graph, so every batch is valid in op order).
-    """
-    rng = random.Random(seed)
-    base_vertices = universe // 2
-    present: set = set()
-    base = []
-    for _ in range(base_vertices * 2):
-        a, b = rng.sample(range(base_vertices), 2)
-        edge = (min(a, b), max(a, b))
-        if edge not in present:
-            present.add(edge)
-            base.append(edge)
-    batches = []
-    for index in range(n_batches):
-        reachable = base_vertices + (universe - base_vertices) * (index + 1) // n_batches
-        ops = []
-        pending = set(present)
-        for _ in range(batch_size):
-            if pending and rng.random() < 0.45:
-                edge = rng.choice(sorted(pending))
-                ops.append(("remove", edge))
-                pending.discard(edge)
-            else:
-                for _ in range(50):
-                    a, b = rng.sample(range(reachable), 2)
-                    edge = (min(a, b), max(a, b))
-                    if edge not in pending:
-                        break
-                else:
-                    continue
-                ops.append(("insert", edge))
-                pending.add(edge)
-        present = pending
-        batches.append(Batch(ops))
-    return base, batches
+    """The canonical mixed stream, seeded the way this suite always has
+    been (so the fixed-seed cases replay byte-identical histories)."""
+    return mixed_batch_stream(
+        random.Random(seed), n_batches, batch_size, universe
+    )
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.engine import DEFAULT_ENGINE
 
 
 def run_cli(capsys, *argv):
@@ -215,7 +216,7 @@ class TestHardenedDurabilityCommands:
         code, out = run_cli(capsys, "log-stat", "--log", str(log), "--json")
         assert code == 0
         payload = _json.loads(out)
-        assert payload["engine"] == "order"
+        assert payload["engine"] == DEFAULT_ENGINE
         assert payload["records"] == 1
         assert payload["torn_bytes"] == 0
 

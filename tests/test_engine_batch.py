@@ -33,6 +33,19 @@ from repro.traversal.maintainer import TraversalCoreMaintainer
 from helpers import random_gnm
 
 
+@pytest.fixture(autouse=True)
+def _pristine_registry():
+    """Ad-hoc registrations in this module must not leak into the
+    global registry: the conformance battery asserts registry coverage,
+    so leaked names would fail it (and pollute every other suite)."""
+    from repro.engine import registry
+
+    snapshot = dict(registry._REGISTRY)
+    yield
+    registry._REGISTRY.clear()
+    registry._REGISTRY.update(snapshot)
+
+
 def mixed_workload(n=120, base_m=2000, inserts=500, removes=500, seed=7):
     """A base graph plus an interleaved 50/50 insert/remove plan."""
     rng = random.Random(seed)
@@ -135,7 +148,10 @@ class TestEngineOptionValidation:
         ("order-om", {"partition": True}),
         ("order-treap", {"parallel": 2}),
         ("order-sharded", {"parallel": 2, "reshard": "batch"}),
+        ("order-sharded", {"engine": "order-simplified"}),
+        ("order-sharded-simplified", {"parallel": 2, "reshard": "batch"}),
         ("order-simplified", {"policy": "large"}),
+        ("order-simplified", {"partition": True, "parallel": 2}),
         ("order-simplified-treap", {"audit": True}),
         ("naive", {"seed": 1}),
         ("trav", {"audit": True}),
@@ -168,6 +184,14 @@ class TestEngineOptionValidation:
         # fail instead of silently fighting the name.
         with pytest.raises(EngineOptionError, match="'h'"):
             make_engine("trav-3", DynamicGraph(), h=5)
+
+    def test_sharded_simplified_alias_pins_the_sub_engine(self):
+        # The alias name *is* the sub-engine selection; engine= on it
+        # must fail instead of silently fighting the name.
+        with pytest.raises(EngineOptionError, match="'engine'"):
+            make_engine(
+                "order-sharded-simplified", DynamicGraph(), engine="order"
+            )
 
     def test_var_keyword_factories_validate_themselves(self):
         calls = []

@@ -11,8 +11,12 @@ is REPLAYED into the shadow at the next recovery (write-ahead means the
 log, not the engine, is the source of truth).  After every recovery the
 recovered cores must equal a from-scratch decomposition of the shadow.
 
-Parametrized over both order-family engines and both sequence backends,
-so the replay path is proven engine- and backend-independent.
+Commits come in two shapes: single-op transactions and multi-edge
+transactions whose removals coalesce into one batch-native removal run
+(the joint-cascade path), so WAL replay of run-scheduled batches is
+crash-tested too.  Parametrized over both order-family engines and both
+sequence backends, so the replay path is proven engine- and
+backend-independent.
 """
 
 import tempfile
@@ -76,10 +80,32 @@ class DurableSessionMachine(RuleBasedStateMachine):
             return ("remove", u, v)
         return ("insert", u, v)
 
-    def _commit_op(self, op):
-        kind, u, v = op
+    def _run_ops(self, pairs):
+        """A multi-edge op list: all removals first, then all inserts,
+        each valid in order — so the commit lands as one multi-edge
+        removal *run* (the joint-cascade path) plus one insertion run,
+        exactly the batch-native machinery WAL replay must reproduce."""
+        removes, inserts, seen = [], [], set()
+        for u, v in pairs:
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in seen:
+                continue
+            seen.add(edge)
+            if self.shadow.has_edge(u, v):
+                removes.append(("remove", u, v))
+            else:
+                inserts.append(("insert", u, v))
+        return removes + inserts
+
+    def _commit_ops(self, ops):
         with self.svc.transaction() as tx:
-            (tx.insert if kind == "insert" else tx.remove)(u, v)
+            for kind, u, v in ops:
+                (tx.insert if kind == "insert" else tx.remove)(u, v)
+
+    def _commit_op(self, op):
+        self._commit_ops([op])
 
     def _apply_to_shadow(self, op):
         kind, u, v = op
@@ -120,14 +146,52 @@ class DurableSessionMachine(RuleBasedStateMachine):
             return
         # The "process" died: abandon the session without close().
         self.svc = None
-        self.pending = op if durable else None
+        self.pending = [op] if durable else None
+
+    @precondition(lambda self: self.svc is not None)
+    @rule(pairs=st.lists(st.tuples(VERTICES, VERTICES), min_size=2, max_size=8))
+    def commit_removal_run(self, pairs):
+        """A multi-edge transaction whose removals coalesce into one
+        batch-native run (one joint cascade per affected level)."""
+        ops = self._run_ops(pairs)
+        if not ops:
+            return
+        self._commit_ops(ops)
+        for op in ops:
+            self._apply_to_shadow(op)
+
+    @precondition(lambda self: self.svc is not None)
+    @rule(
+        pairs=st.lists(st.tuples(VERTICES, VERTICES), min_size=2, max_size=8),
+        crash=st.sampled_from(CRASH_POINTS),
+    )
+    def crash_mid_removal_run(self, pairs, crash):
+        """Crash a multi-edge removal-run commit: if the WAL append
+        landed, recovery must replay the whole run through the
+        batch-native path and agree with the shadow."""
+        point, durable = crash
+        ops = self._run_ops(pairs)
+        if not ops:
+            return
+        with FaultPlan(seed=1).crash(point) as plan:
+            try:
+                self._commit_ops(ops)
+            except InjectedFault:
+                pass
+        if not plan.fired:
+            for op in ops:
+                self._apply_to_shadow(op)
+            return
+        self.svc = None
+        self.pending = ops if durable else None
 
     @precondition(lambda self: self.svc is None)
     @rule()
     def recover(self):
         self.svc = CoreService.recover(self.log, fsync="always")
         if self.pending is not None:
-            self._apply_to_shadow(self.pending)
+            for op in self.pending:
+                self._apply_to_shadow(op)
             self.pending = None
         self.check_agreement()
 

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro import scenarios as sc
 from repro.core.decomposition import core_numbers
+from repro.engine import DEFAULT_ENGINE
 from repro.errors import ScenarioError
 from repro.service import CoreClient, CoreServer, CoreService
 from repro.testing import tiny_scenario
@@ -98,14 +99,14 @@ class TestReplayDriver:
         assert (report.inserts, report.removes) == (inserts, removes)
         summary = report.summary()
         assert summary["scenario"] == "burst"
-        assert summary["engine"] == "order"
+        assert summary["engine"] == DEFAULT_ENGINE
         assert summary["final_digest"] == report.checkpoints[-1].digest
 
     def test_adopted_service_is_left_open(self):
         scenario = tiny_scenario("mixed", seed=3)
         service = CoreService.open(scenario.base_graph())
         report = sc.replay(scenario, service=service)
-        assert report.engine == "order"
+        assert report.engine == DEFAULT_ENGINE
         assert service.cores() == report.final_cores  # still open
         service.close()
 

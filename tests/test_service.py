@@ -4,6 +4,7 @@ queries, subscriptions, and checkpointing."""
 import pytest
 
 from repro.core.decomposition import core_numbers
+from repro.engine import DEFAULT_ENGINE
 from repro.engine.batch import Batch
 from repro.errors import (
     EngineOptionError,
@@ -23,7 +24,7 @@ class TestSessionConstruction:
     def test_open_from_edges(self):
         svc = CoreService.open(TRIANGLE)
         assert svc.cores() == {0: 2, 1: 2, 2: 2}
-        assert svc.engine_name == "order"
+        assert svc.engine_name == DEFAULT_ENGINE
 
     def test_open_from_graph_adopts_it(self):
         graph = DynamicGraph(TRIANGLE)
@@ -64,7 +65,7 @@ class TestTransactions:
         assert svc.core(3) == 2
 
     def test_receipt_carries_batch_result_and_counters(self):
-        svc = CoreService.open(TRIANGLE)
+        svc = CoreService.open(TRIANGLE, engine="order")
         with svc.transaction() as tx:
             tx.insert(0, 3).remove(1, 2)
         receipt = tx.receipt
@@ -341,7 +342,7 @@ class TestCheckpointing:
         svc.save(path)
         restored = CoreService.load(path)
         assert restored.cores() == svc.cores()
-        assert restored.engine_name == "order"
+        assert restored.engine_name == DEFAULT_ENGINE
 
     def test_restored_service_resumes_with_live_subscriptions(self, tmp_path):
         svc = CoreService.open(TRIANGLE)

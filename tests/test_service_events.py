@@ -15,61 +15,18 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from engine_contract import mixed_batch_stream, order_family_engines
 from repro.core.decomposition import core_numbers
 from repro.engine.batch import Batch
 from repro.graphs.undirected import DynamicGraph
 from repro.service import CoreService
 
-#: "order" is the OM-list-backed engine (the default); "order-treap"
-#: runs the same algorithm over the treap backend; "order-sharded"
-#: commits through per-component sub-engines; "order-simplified" is the
-#: Guo–Sekerinski no-mcd variant — all must tell the subscriber the
-#: same story.
-BACKENDS = ("order", "order-treap", "order-sharded", "order-simplified")
-
-
-def mixed_batch_stream(rng, n_batches, batch_size, universe):
-    """A base edge list plus valid mixed batches over a growing universe.
-
-    Removals always target a currently-present edge and inserts a
-    currently-absent one (tracked against the evolving edge set), so
-    every batch is valid in op order; later batches routinely touch
-    vertices no engine has seen yet.
-    """
-    base_vertices = max(4, universe // 2)
-    present: set = set()
-    base = []
-    for _ in range(base_vertices * 2):
-        a, b = rng.sample(range(base_vertices), 2)
-        edge = (min(a, b), max(a, b))
-        if edge not in present:
-            present.add(edge)
-            base.append(edge)
-    batches = []
-    for index in range(n_batches):
-        reachable = base_vertices + (
-            (universe - base_vertices) * (index + 1) // n_batches
-        )
-        ops = []
-        pending = set(present)
-        for _ in range(batch_size):
-            if pending and rng.random() < 0.45:
-                edge = rng.choice(sorted(pending))
-                ops.append(("remove", edge))
-                pending.discard(edge)
-            else:
-                for _ in range(50):
-                    a, b = rng.sample(range(reachable), 2)
-                    edge = (min(a, b), max(a, b))
-                    if edge not in pending:
-                        break
-                else:
-                    continue
-                ops.append(("insert", edge))
-                pending.add(edge)
-        present = pending
-        batches.append(Batch(ops))
-    return base, batches
+#: Every representative order-family engine (full index + service
+#: contracts), straight from the conformance contract: OM-list and
+#: treap backends, the sharded wrappers over both sub-engine families,
+#: and the Guo–Sekerinski no-mcd variant — all must tell the subscriber
+#: the same story.
+BACKENDS = order_family_engines()
 
 
 def expected_story(before, after):
@@ -141,12 +98,17 @@ def test_event_stream_matches_oracle_property(
 
 
 def test_backends_emit_identical_event_sequences():
-    """om and treap must agree event-for-event, not just core-for-core."""
+    """Every order-family engine must agree event-for-event, not just
+    core-for-core: events are vertex-sorted per commit, so the schedule
+    (backend, sharding, run coalescing) must not leak into the story."""
     streams = [
         replay_and_check(name, 7, n_batches=5, batch_size=20, universe=40)
         for name in BACKENDS
     ]
-    assert streams[0] == streams[1]
+    for name, stream in zip(BACKENDS[1:], streams[1:]):
+        assert stream == streams[0], (
+            f"{name} told a different story than {BACKENDS[0]}"
+        )
 
 
 def test_naive_engine_tells_the_same_story():

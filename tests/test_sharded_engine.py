@@ -23,6 +23,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from engine_contract import SEQUENCE_BACKENDS, sharded_engines
 from repro.core.decomposition import core_numbers
 from repro.core.snapshot import to_snapshot
 from repro.engine import Batch, make_engine
@@ -292,30 +293,35 @@ class TestShardBoundaries:
         assert engine.core["lonely"] == 0
 
 
+def _plain_family(sharded_name):
+    """The unsharded engine a sharded wrapper degenerates to."""
+    return "order" + sharded_name.removeprefix("order-sharded")
+
+
+@pytest.mark.parametrize("name", sharded_engines())
+@pytest.mark.parametrize("sequence", list(SEQUENCE_BACKENDS))
 class TestSingleShardDegeneration:
-    """One component ⇒ the sharded engine *is* the plain order engine."""
+    """One component ⇒ each sharded engine *is* its plain sub-engine."""
 
     EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0), (1, 4)]
 
-    @pytest.mark.parametrize("sequence", ["om", "treap"])
-    def test_snapshot_byte_for_byte(self, sequence):
+    def test_snapshot_byte_for_byte(self, name, sequence):
         plain = make_engine(
-            "order", DynamicGraph(self.EDGES), sequence=sequence
+            _plain_family(name), DynamicGraph(self.EDGES), sequence=sequence
         )
         sharded = make_engine(
-            "order-sharded", DynamicGraph(self.EDGES), sequence=sequence
+            name, DynamicGraph(self.EDGES), sequence=sequence
         )
         assert sharded.shard_count == 1
         (sub,) = sharded.shards
         assert json.dumps(to_snapshot(sub)) == json.dumps(to_snapshot(plain))
 
-    @pytest.mark.parametrize("sequence", ["om", "treap"])
-    def test_snapshot_byte_for_byte_after_updates(self, sequence):
+    def test_snapshot_byte_for_byte_after_updates(self, name, sequence):
         plain = make_engine(
-            "order", DynamicGraph(self.EDGES), sequence=sequence
+            _plain_family(name), DynamicGraph(self.EDGES), sequence=sequence
         )
         sharded = make_engine(
-            "order-sharded", DynamicGraph(self.EDGES), sequence=sequence
+            name, DynamicGraph(self.EDGES), sequence=sequence
         )
         batch = Batch().insert(4, 5).insert(5, 0).remove(1, 2).insert(3, 0)
         plain.apply_batch(batch)
@@ -324,10 +330,12 @@ class TestSingleShardDegeneration:
         assert json.dumps(to_snapshot(sub)) == json.dumps(to_snapshot(plain))
 
 
+@pytest.mark.parametrize("name", sharded_engines())
 class TestShardedOracle:
-    """Hypothesis: the sharded engine tracks the from-scratch oracle and
-    the plain order engine under arbitrary valid mixed batches, on both
-    sequence backends, sequentially and through the lock-free pool."""
+    """Hypothesis: each sharded engine tracks the from-scratch oracle
+    and its plain sub-engine family under arbitrary valid mixed batches,
+    on both sequence backends, sequentially and through the lock-free
+    pool."""
 
     @settings(
         max_examples=20,
@@ -336,12 +344,12 @@ class TestShardedOracle:
     )
     @given(
         seed=st.integers(min_value=0, max_value=2**16),
-        sequence=st.sampled_from(["om", "treap"]),
+        sequence=st.sampled_from(SEQUENCE_BACKENDS),
         parallel=st.sampled_from([None, 3]),
         data=st.data(),
     )
     def test_sharded_matches_plain_and_recompute(
-        self, seed, sequence, parallel, data
+        self, name, seed, sequence, parallel, data
     ):
         rng = random.Random(seed)
         # Several pockets so batches genuinely span shards.
@@ -357,10 +365,11 @@ class TestShardedOracle:
         m = data.draw(st.integers(10, len(pairs)), label="m")
         base_edges, spare = pairs[:m], pairs[m:] + bridges
         plain = make_engine(
-            "order", DynamicGraph(base_edges), seed=seed, sequence=sequence
+            _plain_family(name), DynamicGraph(base_edges), seed=seed,
+            sequence=sequence,
         )
         sharded = make_engine(
-            "order-sharded", DynamicGraph(base_edges), seed=seed,
+            name, DynamicGraph(base_edges), seed=seed,
             sequence=sequence, parallel=parallel, audit=True,
             reshard=data.draw(
                 st.sampled_from(["off", "batch"]), label="reshard"
@@ -386,34 +395,36 @@ class TestShardedOracle:
             assert sharded.core_numbers() == core_numbers(sharded.graph)
 
 
+@pytest.mark.parametrize("name", sharded_engines())
 class TestLifecycle:
-    """Satellite: close() semantics and worker-pool fault tolerance."""
+    """Satellite: close() semantics and worker-pool fault tolerance,
+    over every sharded engine family."""
 
-    def build(self, parallel=2):
+    def build(self, name, parallel=2):
         return make_engine(
-            "order-sharded",
+            name,
             DynamicGraph([(1, 2), (2, 3), (10, 11), (11, 12)]),
             parallel=parallel,
         )
 
-    def test_close_is_idempotent(self):
-        engine = self.build()
+    def test_close_is_idempotent(self, name):
+        engine = self.build(name)
         engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
         engine.close()
         engine.close()
         assert engine.closed
 
-    def test_reads_answer_after_close(self):
-        engine = self.build()
+    def test_reads_answer_after_close(self, name):
+        engine = self.build(name)
         engine.close()
         assert engine.core_numbers()
         assert engine.core_of(1) == 1
         engine.check()
 
-    def test_commit_after_close_raises_service_error(self):
-        engine = self.build()
+    def test_commit_after_close_raises_service_error(self, name):
+        engine = self.build(name)
         engine.close()
-        with pytest.raises(ServiceError, match="'order-sharded' is closed"):
+        with pytest.raises(ServiceError, match=f"{name!r} is closed"):
             engine.apply_batch(Batch().insert(3, 1))
         with pytest.raises(ServiceError, match="is closed"):
             engine.insert_edge(3, 1)
@@ -422,17 +433,19 @@ class TestLifecycle:
         with pytest.raises(ServiceError, match="is closed"):
             engine.add_vertex(99)
 
-    def test_service_close_closes_sharded_engine(self):
+    def test_service_close_closes_sharded_engine(self, name):
         svc = CoreService.open(
-            [(1, 2), (2, 3)], engine="order-sharded", parallel=2
+            [(1, 2), (2, 3)], engine=name, parallel=2
         )
         svc.close()
         assert svc.engine.closed
 
-    def test_transient_submit_failure_retries_then_succeeds(self, monkeypatch):
+    def test_transient_submit_failure_retries_then_succeeds(
+        self, name, monkeypatch
+    ):
         from concurrent.futures import ThreadPoolExecutor
 
-        engine = self.build()
+        engine = self.build(name)
         failures = {"left": 2}
         real_submit = ThreadPoolExecutor.submit
 
@@ -450,13 +463,15 @@ class TestLifecycle:
         assert engine.core_numbers() == core_numbers(engine.graph)
         engine.close()
 
-    def test_exhausted_retries_fall_back_to_inline_commit(self, monkeypatch):
+    def test_exhausted_retries_fall_back_to_inline_commit(
+        self, name, monkeypatch
+    ):
         from concurrent.futures import ThreadPoolExecutor
 
         def dead_submit(self, fn, *args, **kwargs):
             raise RuntimeError("can't start new thread")
 
-        engine = self.build()
+        engine = self.build(name)
         monkeypatch.setattr(ThreadPoolExecutor, "submit", dead_submit)
         monkeypatch.setattr("repro.engine.sharded.POOL_RETRY_BACKOFF", 0.0)
         result = engine.apply_batch(Batch().insert(3, 1).insert(12, 10))
@@ -467,10 +482,10 @@ class TestLifecycle:
         assert engine.core_numbers() == core_numbers(engine.graph)
         engine.close()
 
-    def test_worker_fault_leaves_mirror_consistent(self):
+    def test_worker_fault_leaves_mirror_consistent(self, name):
         from repro.testing import FaultPlan, InjectedFault
 
-        engine = self.build()
+        engine = self.build(name)
         with FaultPlan(seed=1).crash("shard.worker_commit"):
             with pytest.raises(InjectedFault):
                 engine.apply_batch(Batch().insert(3, 1).insert(12, 10))

@@ -49,16 +49,18 @@ class TestRegistryFamily:
         engine = make_engine(f"order-simplified-{policy}", graph, seed=5)
         assert engine.core_numbers() == core_numbers(engine.graph)
 
-    def test_no_batch_scheduler_options(self):
-        # The simplified engine has no run-boundary repair for a region
-        # schedule to amortize; the options the default order family
-        # grew for it must fail loudly here.
-        from repro.errors import EngineOptionError
-
-        with pytest.raises(EngineOptionError, match="partition"):
-            make_engine("order-simplified", DynamicGraph(), partition=True)
-        with pytest.raises(EngineOptionError, match="parallel"):
-            make_engine("order-simplified", DynamicGraph(), parallel=2)
+    def test_batch_scheduler_options(self):
+        # Since the engine gained batch-native runs, it carries the same
+        # region-scheduler options as the default order family; the
+        # schedule must report its shape and agree with recomputation.
+        edges, spare = random_gnm(18, 30, seed=9)
+        engine = make_engine(
+            "order-simplified", DynamicGraph(edges), partition=True,
+            parallel=2,
+        )
+        result = engine.apply_batch(Batch.inserts(spare[:10]))
+        assert result.counters["regions"] >= 1
+        assert engine.core_numbers() == core_numbers(engine.graph)
 
 
 class TestNoMcdProtocol:
